@@ -1,0 +1,70 @@
+// Command iok2str converts one I/O trace into the paper's weighted-string
+// representation (and optionally shows the intermediate pattern tree).
+//
+// Usage:
+//
+//	iok2str [-nobytes] [-tree] [-strace] [-passes 2] file.trace
+//	cat file.trace | iok2str
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iokast/internal/core"
+	"iokast/internal/trace"
+	"iokast/internal/tree"
+)
+
+func main() {
+	noBytes := flag.Bool("nobytes", false, "ignore byte counts (assume zero)")
+	showTree := flag.Bool("tree", false, "print the compressed pattern tree instead of the string")
+	straceIn := flag.Bool("strace", false, "input is an strace-style call log")
+	passes := flag.Int("passes", 0, "compression passes (0 = paper default of 2, -1 = none)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "iok2str: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iok2str: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	var (
+		t   *trace.Trace
+		err error
+	)
+	if *straceIn {
+		t, err = trace.ParseStrace(in)
+	} else {
+		t, err = trace.Parse(in)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iok2str: %v\n", err)
+		os.Exit(1)
+	}
+
+	opt := core.Options{IgnoreBytes: *noBytes}
+	switch *passes {
+	case 0:
+	case -1:
+		opt.Compress = tree.CompressOptions{Passes: core.NoCompression}
+	default:
+		opt.Compress = tree.CompressOptions{Passes: *passes}
+	}
+	if *showTree {
+		fmt.Print(core.ConvertTree(t, opt).Render())
+		return
+	}
+	fmt.Println(core.Convert(t, opt).Format())
+}

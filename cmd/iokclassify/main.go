@@ -1,0 +1,89 @@
+// Command iokclassify labels an I/O trace by kernel similarity against a
+// directory of labelled reference traces — the pattern-database use case
+// the paper's related work motivates (Behzad et al.'s auto-tuning lookup).
+//
+// Usage:
+//
+//	iokclassify -refs traces/ [-k 3] [-cut 2] [-nobytes] input.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iokast/internal/classify"
+	"iokast/internal/cli"
+	"iokast/internal/core"
+	"iokast/internal/trace"
+)
+
+func main() {
+	refDir := flag.String("refs", "", "directory of labelled .trace references (required)")
+	k := flag.Int("k", 3, "number of nearest neighbours to vote")
+	cut := flag.Int("cut", 2, "Kast cut weight")
+	noBytes := flag.Bool("nobytes", false, "ignore byte counts")
+	top := flag.Int("top", 5, "matches to display")
+	flag.Parse()
+
+	if *refDir == "" {
+		fmt.Fprintln(os.Stderr, "iokclassify: -refs is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	refs, err := cli.LoadTraceDir(*refDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
+		os.Exit(1)
+	}
+	labels := make([]string, len(refs))
+	for i, t := range refs {
+		labels[i] = t.Label
+		if labels[i] == "" {
+			labels[i] = t.Name
+		}
+	}
+	opt := core.Options{IgnoreBytes: *noBytes}
+	refStrings := core.ConvertAll(refs, opt)
+	c, err := classify.New(&core.Kast{CutWeight: *cut}, refStrings, labels, *k)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
+		os.Exit(1)
+	}
+
+	var in io.Reader = os.Stdin
+	inputName := "stdin"
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+		inputName = flag.Arg(0)
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "iokclassify: at most one input file")
+		os.Exit(2)
+	}
+	tr, err := trace.Parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
+		os.Exit(1)
+	}
+
+	label, matches, err := c.Classify(core.Convert(tr, opt))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %s\n", inputName, label)
+	n := *top
+	if n > len(matches) {
+		n = len(matches)
+	}
+	for _, m := range matches[:n] {
+		fmt.Printf("  %-24s %-6s %.4f\n", refs[m.Index].Name, m.Label, m.Similarity)
+	}
+}

@@ -1,0 +1,64 @@
+// Command iokexp runs the paper's evaluation: every figure and claim
+// (experiments E1-E8) plus the design ablations (A1-A3), printing a
+// paper-vs-measured report. EXPERIMENTS.md records its output.
+//
+// Usage:
+//
+//	iokexp [-seed 20170904] [-run E3] [-ablations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"iokast/internal/experiments"
+)
+
+func main() {
+	seed := flag.Uint64("seed", experiments.DefaultSeed, "dataset seed")
+	runOnly := flag.String("run", "", "run only the experiment with this ID (e.g. E3)")
+	ablations := flag.Bool("ablations", true, "also run the design ablations A1-A3")
+	flag.Parse()
+
+	reports, err := experiments.RunAll(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokexp: %v\n", err)
+		os.Exit(1)
+	}
+	if *ablations {
+		abl, err := experiments.RunAblations(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokexp: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, abl...)
+		x1, err := experiments.RunX1(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokexp: %v\n", err)
+			os.Exit(1)
+		}
+		reports = append(reports, x1)
+	}
+
+	matched, total := 0, 0
+	for _, r := range reports {
+		if *runOnly != "" && !strings.EqualFold(r.ID, *runOnly) {
+			continue
+		}
+		fmt.Println(r.Render())
+		total++
+		if r.Pass {
+			matched++
+		}
+	}
+	if total == 0 {
+		fmt.Fprintf(os.Stderr, "iokexp: no experiment named %q\n", *runOnly)
+		os.Exit(2)
+	}
+	fmt.Printf("summary: %d/%d experiments match the paper (seed %d)\n", matched, total, *seed)
+	if matched != total {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command iokmatrix computes a similarity matrix over a directory of
+// traces and writes it as CSV to stdout.
+//
+// Usage:
+//
+//	iokmatrix -dir traces/ [-kernel kast] [-cut 2] [-nobytes] [-norepair] [-count] [-k 5]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"iokast/internal/cli"
+	"iokast/internal/core"
+	"iokast/internal/matrixio"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of .trace files (required)")
+	kernelName := flag.String("kernel", "kast", "kernel: kast, blended, spectrum or bagoftokens")
+	cut := flag.Int("cut", 2, "cut weight")
+	k := flag.Int("k", 0, "substring length bound for blended/spectrum (0 = default)")
+	count := flag.Bool("count", false, "count occurrences instead of summing weights (baselines)")
+	noBytes := flag.Bool("nobytes", false, "ignore byte counts")
+	noRepair := flag.Bool("norepair", false, "skip the PSD repair step")
+	format := flag.String("format", "csv", "output format: csv or json")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "iokmatrix: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	traces, err := cli.LoadTraceDir(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokmatrix: %v\n", err)
+		os.Exit(1)
+	}
+	xs := core.ConvertAll(traces, core.Options{IgnoreBytes: *noBytes})
+	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
+	sim, clipped, err := spec.Similarity(xs, !*noRepair)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokmatrix: %v\n", err)
+		os.Exit(1)
+	}
+	names := make([]string, len(traces))
+	for i, t := range traces {
+		names[i] = t.Name
+	}
+	w := bufio.NewWriter(os.Stdout)
+	named := matrixio.Named{Names: names, Matrix: sim}
+	switch *format {
+	case "csv":
+		err = matrixio.WriteCSV(w, named)
+	case "json":
+		err = matrixio.WriteJSON(w, named)
+	default:
+		err = fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokmatrix: %v\n", err)
+		os.Exit(1)
+	}
+	w.Flush()
+	fmt.Fprintf(os.Stderr, "iokmatrix: %d traces, %d negative eigenvalues clipped\n", len(traces), clipped)
+}

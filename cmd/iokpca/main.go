@@ -1,0 +1,82 @@
+// Command iokpca projects a directory of traces into Kernel PCA space
+// (paper Figs. 6 and 8) and prints the coordinates, plus an ASCII scatter
+// plot with -plot.
+//
+// Usage:
+//
+//	iokpca -dir traces/ [-kernel kast] [-cut 2] [-components 2] [-nobytes] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iokast/internal/cli"
+	"iokast/internal/core"
+	"iokast/internal/kpca"
+	"iokast/internal/plot"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of .trace files (required)")
+	kernelName := flag.String("kernel", "kast", "kernel: kast, blended, spectrum or bagoftokens")
+	cut := flag.Int("cut", 2, "cut weight")
+	k := flag.Int("k", 0, "substring length bound for blended/spectrum (0 = default)")
+	count := flag.Bool("count", false, "count occurrences instead of summing weights")
+	components := flag.Int("components", 2, "number of principal components")
+	noBytes := flag.Bool("nobytes", false, "ignore byte counts")
+	asciiPlot := flag.Bool("plot", false, "render an ASCII scatter of the first two components")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "iokpca: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	traces, err := cli.LoadTraceDir(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokpca: %v\n", err)
+		os.Exit(1)
+	}
+	xs := core.ConvertAll(traces, core.Options{IgnoreBytes: *noBytes})
+	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
+	sim, clipped, err := spec.Similarity(xs, true)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokpca: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := kpca.Analyze(sim, kpca.Options{Components: *components})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokpca: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("# clipped eigenvalues: %d\n", clipped)
+	fmt.Print("# name\tlabel")
+	for c := 0; c < res.Coords.Cols; c++ {
+		fmt.Printf("\tPC%d", c+1)
+	}
+	fmt.Println()
+	for i, t := range traces {
+		fmt.Printf("%s\t%s", t.Name, t.Label)
+		for c := 0; c < res.Coords.Cols; c++ {
+			fmt.Printf("\t%.6f", res.Coords.At(i, c))
+		}
+		fmt.Println()
+	}
+
+	if *asciiPlot && res.Coords.Cols >= 2 {
+		xsCoord := make([]float64, len(traces))
+		ysCoord := make([]float64, len(traces))
+		labels := make([]string, len(traces))
+		for i, t := range traces {
+			xsCoord[i] = res.Coords.At(i, 0)
+			ysCoord[i] = res.Coords.At(i, 1)
+			labels[i] = t.Label
+		}
+		sc := plot.DefaultScatter(fmt.Sprintf("Kernel PCA (%s)", *kernelName))
+		sc.XLabel, sc.YLabel = "PC1", "PC2"
+		fmt.Print(sc.Render(xsCoord, ysCoord, labels))
+	}
+}

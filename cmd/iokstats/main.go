@@ -1,0 +1,68 @@
+// Command iokstats summarises an I/O trace along the characterisation
+// axes of the paper's §2.1 (granularity, randomness, concurrency, load
+// balance, burstiness) and prints its operation-vocabulary histogram.
+//
+// Usage:
+//
+//	iokstats [-strace] [-top 10] file.trace
+//	cat file.trace | iokstats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"iokast/internal/trace"
+)
+
+func main() {
+	straceIn := flag.Bool("strace", false, "input is an strace-style call log")
+	top := flag.Int("top", 10, "histogram entries to display (0 = all)")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "iokstats: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokstats: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	var (
+		tr  *trace.Trace
+		err error
+	)
+	if *straceIn {
+		tr, err = trace.ParseStrace(in)
+	} else {
+		tr, err = trace.Parse(in)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokstats: %v\n", err)
+		os.Exit(1)
+	}
+
+	if tr.Name != "" {
+		fmt.Printf("trace: %s\n", tr.Name)
+	}
+	fmt.Print(trace.ComputeStats(tr).String())
+
+	hist := trace.ByteHistogram(tr)
+	if *top > 0 && len(hist) > *top {
+		hist = hist[:*top]
+	}
+	if len(hist) > 0 {
+		fmt.Println("\nvocabulary (count x operation):")
+		for _, e := range hist {
+			fmt.Printf("  %8d x %-24s (%d bytes total)\n", e.Count, e.Key, e.Bytes)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package iokast_test
+
+import (
+	"fmt"
+
+	"iokast"
+)
+
+// ExampleConvert shows the §3.1 pipeline: a raw trace becomes a weighted
+// token string with runs compressed into repetition weights.
+func ExampleConvert() {
+	tr, err := iokast.ParseTraceString(`
+open fh=1
+write fh=1 bytes=4096
+write fh=1 bytes=4096
+write fh=1 bytes=4096
+close fh=1`)
+	if err != nil {
+		panic(err)
+	}
+	s := iokast.Convert(tr, iokast.ConvertOptions{})
+	fmt.Println(s.Format())
+	// Output: [ROOT]:1 [HANDLE]:1 [BLOCK]:1 write[4096]:3
+}
+
+// ExampleNewKast compares two access patterns with the Kast Spectrum
+// Kernel.
+func ExampleNewKast() {
+	a, _ := iokast.ParseTraceString("open fh=1\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nclose fh=1")
+	b, _ := iokast.ParseTraceString("open fh=1\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nclose fh=1")
+	sa := iokast.Convert(a, iokast.ConvertOptions{})
+	sb := iokast.Convert(b, iokast.ConvertOptions{})
+	k := iokast.NewKast(2)
+	fmt.Printf("raw k(a,b) = %.0f\n", k.Compare(sa, sb))
+	fmt.Printf("cosine     = %.2f\n", iokast.CosineNormalized(k).Compare(sa, sb))
+	// Output:
+	// raw k(a,b) = 30
+	// cosine     = 1.00
+}
+
+// ExampleClassifyTraces labels an unknown pattern against references.
+func ExampleClassifyTraces() {
+	writer, _ := iokast.ParseTraceString("open fh=1\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nclose fh=1")
+	seeker, _ := iokast.ParseTraceString("open fh=1\nlseek fh=1\nread fh=1 bytes=64\nlseek fh=1\nread fh=1 bytes=64\nclose fh=1")
+	query, _ := iokast.ParseTraceString("open fh=1\nlseek fh=1\nread fh=1 bytes=64\nlseek fh=1\nread fh=1 bytes=64\nlseek fh=1\nread fh=1 bytes=64\nclose fh=1")
+	label, _, err := iokast.ClassifyTraces(
+		[]*iokast.Trace{writer, seeker}, []string{"writer", "seeker"},
+		query, 2, 1, iokast.ConvertOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(label)
+	// Output: seeker
+}
+
+// ExampleNewRecordingFS captures a live workload as a trace.
+func ExampleNewRecordingFS() {
+	fs := iokast.NewRecordingFS()
+	f, _ := fs.Open("out.bin", 1) // WriteOnly
+	f.Write(make([]byte, 1024))
+	f.Write(make([]byte, 1024))
+	f.Close()
+	s := iokast.Convert(fs.Trace(), iokast.ConvertOptions{})
+	fmt.Println(s.Format())
+	// Output: [ROOT]:1 [HANDLE]:1 [BLOCK]:1 write[1024]:2
+}

@@ -1,0 +1,89 @@
+// IR comparison: the paper's future-work direction (§6) — apply the same
+// weighted-string representation and Kast kernel to compiler intermediate
+// representations instead of I/O traces. Three mini-IR programs are
+// compared: two loop-heavy numeric kernels and one branchy dispatcher.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"iokast"
+	"iokast/internal/ir"
+)
+
+var programs = map[string]string{
+	"dot-product": `
+module dot
+func dot
+block entry
+  load 1
+  load 1
+  load 1
+  load 1
+  mul 2
+  mul 2
+  add 2
+  add 2
+  store 2
+block exit
+  ret 1
+`,
+	"sum-array": `
+module sum
+func sum
+block entry
+  load 1
+  load 1
+  load 1
+  load 1
+  add 2
+  add 2
+  add 2
+  store 2
+block exit
+  ret 1
+`,
+	"dispatcher": `
+module dispatch
+func route
+block entry
+  cmp 2
+  br 3
+block case_a
+  call 4
+  br 1
+block case_b
+  call 4
+  br 1
+block merge
+  phi 3
+  ret 1
+`,
+}
+
+func main() {
+	names := []string{"dot-product", "sum-array", "dispatcher"}
+	strs := map[string]iokast.WeightedString{}
+	for _, name := range names {
+		m, err := ir.ParseString(programs[name])
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		s := ir.ToString(m, ir.Options{})
+		strs[name] = s
+		fmt.Printf("%-12s -> %s\n", name, s.Format())
+	}
+
+	fmt.Println("\npairwise Kast similarity (cut weight 2, cosine-normalised):")
+	k := iokast.CosineNormalized(iokast.NewKast(2))
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			fmt.Printf("  %-12s vs %-12s = %.4f\n",
+				names[i], names[j], k.Compare(strs[names[i]], strs[names[j]]))
+		}
+	}
+	fmt.Println("\nThe two arithmetic loops score far higher with each other than")
+	fmt.Println("with the branchy dispatcher — the representation transfers from")
+	fmt.Println("I/O traces to program structure, as the paper anticipates.")
+}

@@ -1,0 +1,107 @@
+package iokast
+
+import (
+	"testing"
+)
+
+func TestRecordingFSFacade(t *testing.T) {
+	fs := NewRecordingFS()
+	f, err := fs.Open("x.dat", 2) // ReadWrite
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write(make([]byte, 128))
+	f.Close()
+	tr := fs.Trace()
+	if tr.Len() != 3 {
+		t.Fatalf("recorded %d ops", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStatsFacade(t *testing.T) {
+	tr, _ := ParseTraceString(demoTrace)
+	s := ComputeStats(tr)
+	if s.Ops != 5 || s.Writes != 2 || s.Reads != 1 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClassifyTracesFacade(t *testing.T) {
+	writer, _ := ParseTraceString("open fh=1\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nclose fh=1")
+	seeker, _ := ParseTraceString("open fh=1\nlseek fh=1\nread fh=1 bytes=64\nlseek fh=1\nread fh=1 bytes=64\nclose fh=1")
+	query, _ := ParseTraceString("open fh=1\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nwrite fh=1 bytes=64\nclose fh=1")
+	label, matches, err := ClassifyTraces(
+		[]*Trace{writer, seeker}, []string{"writer", "seeker"},
+		query, 2, 1, ConvertOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if label != "writer" || len(matches) != 2 {
+		t.Fatalf("label %q matches %v", label, matches)
+	}
+}
+
+func TestFitKPCAFacade(t *testing.T) {
+	ds, err := GeneratePaperDataset(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var train []WeightedString
+	for i := 0; i < 20; i++ {
+		train = append(train, Convert(ds.Traces[i*5], ConvertOptions{}))
+	}
+	model, err := FitKPCA(NewKast(2), train, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coords, err := model.Project(Convert(ds.Traces[1], ConvertOptions{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coords) != 2 {
+		t.Fatalf("projected coords %v", coords)
+	}
+}
+
+func TestSilhouetteAndCopheneticFacade(t *testing.T) {
+	a, _ := ParseTraceString("open fh=1\nwrite fh=1 bytes=8\nwrite fh=1 bytes=8\nclose fh=1")
+	b, _ := ParseTraceString("open fh=1\nwrite fh=1 bytes=8\nwrite fh=1 bytes=8\nwrite fh=1 bytes=8\nclose fh=1")
+	c, _ := ParseTraceString("open fh=1\nlseek fh=1\nread fh=1 bytes=4096\nlseek fh=1\nread fh=1 bytes=4096\nclose fh=1")
+	d, _ := ParseTraceString("open fh=1\nlseek fh=1\nread fh=1 bytes=4096\nclose fh=1")
+	xs := ConvertAll([]*Trace{a, b, c, d}, ConvertOptions{})
+	sim, _, err := CosineSimilarity(NewKast(2), xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := KernelDistance(sim)
+	s, err := Silhouette(dist, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 {
+		t.Fatalf("silhouette %v for a sensible split", s)
+	}
+	dg, err := HCluster(sim, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := CopheneticCorrelation(dist, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc <= 0 {
+		t.Fatalf("cophenetic correlation %v", cc)
+	}
+}
+
+func TestSubsequenceKernelExported(t *testing.T) {
+	tr, _ := ParseTraceString(demoTrace)
+	s := Convert(tr, ConvertOptions{})
+	k := &SubsequenceKernel{P: 2, Lambda: 0.5}
+	if k.Compare(s, s) <= 0 {
+		t.Fatal("subsequence self-similarity not positive")
+	}
+}

@@ -1,0 +1,142 @@
+// Package classify assigns labels to new access patterns by kernel
+// similarity against a labelled reference set. This is the downstream use
+// the paper motivates (and its related work pursues with neural networks
+// and HMMs — Madhyastha & Reed; pattern databases — Behzad et al.): once a
+// collection of known patterns exists, an incoming trace can be matched to
+// its family without retraining anything, because kernel methods only need
+// pairwise similarities.
+package classify
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"iokast/internal/kernel"
+	"iokast/internal/token"
+)
+
+// Classifier labels weighted strings by kernel similarity to labelled
+// references.
+type Classifier struct {
+	kern    kernel.Kernel
+	refs    []token.String
+	labels  []string
+	k       int
+	selfSim []float64
+}
+
+// New builds a k-nearest-neighbour classifier over the reference set. The
+// kernel is wrapped with cosine normalisation internally (similarities
+// must be comparable across differently sized references). k defaults to
+// 1; it is clamped to the reference count.
+func New(kern kernel.Kernel, refs []token.String, labels []string, k int) (*Classifier, error) {
+	if len(refs) == 0 {
+		return nil, fmt.Errorf("classify: empty reference set")
+	}
+	if len(refs) != len(labels) {
+		return nil, fmt.Errorf("classify: %d references but %d labels", len(refs), len(labels))
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(refs) {
+		k = len(refs)
+	}
+	c := &Classifier{kern: kern, refs: refs, labels: labels, k: k}
+	c.selfSim = make([]float64, len(refs))
+	for i, r := range refs {
+		c.selfSim[i] = kern.Compare(r, r)
+	}
+	return c, nil
+}
+
+// Match is one scored reference.
+type Match struct {
+	Index      int
+	Label      string
+	Similarity float64 // cosine-normalised kernel value
+}
+
+// Classify returns the majority label among the k most similar references
+// (ties broken toward the more similar neighbour) and the scored
+// neighbour list, most similar first.
+func (c *Classifier) Classify(x token.String) (string, []Match, error) {
+	selfX := c.kern.Compare(x, x)
+	if selfX <= 0 {
+		return "", nil, fmt.Errorf("classify: input has zero self-similarity under %s", c.kern.Name())
+	}
+	matches := make([]Match, 0, len(c.refs))
+	for i, r := range c.refs {
+		sim := 0.0
+		if c.selfSim[i] > 0 {
+			sim = c.kern.Compare(x, r) / math.Sqrt(selfX*c.selfSim[i])
+		}
+		matches = append(matches, Match{Index: i, Label: c.labels[i], Similarity: sim})
+	}
+	sort.SliceStable(matches, func(i, j int) bool {
+		return matches[i].Similarity > matches[j].Similarity
+	})
+	votes := map[string]float64{}
+	counts := map[string]int{}
+	for _, m := range matches[:c.k] {
+		votes[m.Label] += m.Similarity
+		counts[m.Label]++
+	}
+	best, bestCount, bestVote := "", -1, -1.0
+	labels := make([]string, 0, len(counts))
+	for l := range counts {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels) // deterministic tie-break
+	for _, l := range labels {
+		if counts[l] > bestCount || (counts[l] == bestCount && votes[l] > bestVote) {
+			best, bestCount, bestVote = l, counts[l], votes[l]
+		}
+	}
+	return best, matches, nil
+}
+
+// Accuracy runs leave-one-out cross-validation over the reference set: how
+// often a reference is classified correctly by the other references.
+func (c *Classifier) Accuracy() (float64, error) {
+	if len(c.refs) < 2 {
+		return 0, fmt.Errorf("classify: need at least 2 references for cross-validation")
+	}
+	correct := 0
+	for i := range c.refs {
+		sub := &Classifier{
+			kern:    c.kern,
+			refs:    without(c.refs, i),
+			labels:  withoutStr(c.labels, i),
+			k:       min(c.k, len(c.refs)-1),
+			selfSim: withoutF(c.selfSim, i),
+		}
+		got, _, err := sub.Classify(c.refs[i])
+		if err != nil {
+			continue // degenerate reference; counts as incorrect
+		}
+		if got == c.labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(c.refs)), nil
+}
+
+func without(xs []token.String, i int) []token.String {
+	out := make([]token.String, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+func withoutStr(xs []string, i int) []string {
+	out := make([]string, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}
+
+func withoutF(xs []float64, i int) []float64 {
+	out := make([]float64, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
+}

@@ -1,0 +1,198 @@
+// Package cli holds the shared, testable logic behind the cmd/ binaries:
+// loading trace directories, constructing kernels from flag values, and
+// writing matrices as CSV.
+package cli
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+	"iokast/internal/linalg"
+	"iokast/internal/matrixio"
+	"iokast/internal/token"
+	"iokast/internal/trace"
+)
+
+// TraceFileExt is the extension LoadTraceDir scans for.
+const TraceFileExt = ".trace"
+
+// LoadTraceDir reads every *.trace file in dir (sorted by name) using the
+// canonical text format. The trace Name defaults to the file stem when the
+// file has no name header.
+func LoadTraceDir(dir string) ([]*trace.Trace, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cli: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), TraceFileExt) {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cli: no %s files in %s", TraceFileExt, dir)
+	}
+	traces := make([]*trace.Trace, 0, len(names))
+	for _, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("cli: %w", err)
+		}
+		t, err := trace.Parse(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("cli: %s: %w", name, err)
+		}
+		if t.Name == "" {
+			t.Name = strings.TrimSuffix(name, TraceFileExt)
+		}
+		traces = append(traces, t)
+	}
+	return traces, nil
+}
+
+// SaveTraceDir writes each trace as <index>_<name>.trace under dir,
+// creating it if needed.
+func SaveTraceDir(dir string, traces []*trace.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("cli: %w", err)
+	}
+	for i, t := range traces {
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("trace%03d", i)
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%03d_%s%s", i, sanitize(name), TraceFileExt))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("cli: %w", err)
+		}
+		if err := trace.Format(f, t); err != nil {
+			f.Close()
+			return fmt.Errorf("cli: %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("cli: %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// KernelSpec describes a kernel selected on the command line.
+type KernelSpec struct {
+	Name      string // kast | blended | spectrum | bagoftokens
+	CutWeight int
+	K         int  // spectrum length / blended max length
+	Count     bool // count mode instead of weight-sum (baselines only)
+}
+
+// Build constructs the kernel.
+func (s KernelSpec) Build() (kernel.Kernel, error) {
+	mode := kernel.WeightSum
+	if s.Count {
+		mode = kernel.Count
+	}
+	switch s.Name {
+	case "kast", "":
+		return &core.Kast{CutWeight: s.CutWeight}, nil
+	case "blended":
+		k := s.K
+		if k == 0 {
+			k = 5
+		}
+		return &kernel.Blended{P: k, Mode: mode, CutWeight: s.CutWeight}, nil
+	case "spectrum":
+		k := s.K
+		if k == 0 {
+			k = 3
+		}
+		return &kernel.Spectrum{K: k, Mode: mode, CutWeight: s.CutWeight}, nil
+	case "bagoftokens":
+		return &kernel.BagOfTokens{Mode: mode}, nil
+	}
+	return nil, fmt.Errorf("cli: unknown kernel %q (want kast, blended, spectrum or bagoftokens)", s.Name)
+}
+
+// Similarity computes the post-processed similarity matrix for the spec:
+// Eq. 12 normalisation for kast, cosine for baselines, both PSD-repaired
+// when repair is true.
+func (s KernelSpec) Similarity(xs []token.String, repair bool) (*linalg.Matrix, int, error) {
+	k, err := s.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	raw := kernel.Gram(k, xs)
+	var norm *linalg.Matrix
+	if s.Name == "kast" || s.Name == "" {
+		norm, err = core.NormalizeGramPaper(raw, xs, s.CutWeight)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		norm = kernel.NormalizeCosine(raw)
+	}
+	if !repair {
+		return norm, 0, nil
+	}
+	return kernel.PSDRepair(norm)
+}
+
+// WriteMatrixCSV renders the matrix as CSV with row/column headers.
+func WriteMatrixCSV(w interface{ Write([]byte) (int, error) }, m *linalg.Matrix, headers []string) error {
+	var sb strings.Builder
+	sb.WriteString("name")
+	for j := 0; j < m.Cols; j++ {
+		sb.WriteByte(',')
+		sb.WriteString(header(headers, j))
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < m.Rows; i++ {
+		sb.WriteString(header(headers, i))
+		for j := 0; j < m.Cols; j++ {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatFloat(m.At(i, j), 'g', 10, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	_, err := w.Write([]byte(sb.String()))
+	return err
+}
+
+func header(headers []string, i int) string {
+	if i < len(headers) && headers[i] != "" {
+		return headers[i]
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+// LoadMatrix reads a named matrix written by matrixio (JSON when the path
+// ends in .json, CSV otherwise).
+func LoadMatrix(path string) (matrixio.Named, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return matrixio.Named{}, fmt.Errorf("cli: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return matrixio.ReadJSON(f)
+	}
+	return matrixio.ReadCSV(f)
+}

@@ -1,0 +1,190 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/linalg"
+	"iokast/internal/matrixio"
+	"iokast/internal/trace"
+)
+
+func sampleTraces(t *testing.T) []*trace.Trace {
+	t.Helper()
+	a, err := trace.ParseString("open fh=1\nwrite fh=1 bytes=8\nclose fh=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Name = "first"
+	b, err := trace.ParseString("open fh=1\nread fh=1 bytes=4\nclose fh=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Name = "second"
+	return []*trace.Trace{a, b}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	traces := sampleTraces(t)
+	if err := SaveTraceDir(dir, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("loaded %d traces", len(got))
+	}
+	if got[0].Name != "first" || got[1].Name != "second" {
+		t.Fatalf("names %q, %q", got[0].Name, got[1].Name)
+	}
+	if got[0].Ops[1].Name != "write" {
+		t.Fatal("content lost")
+	}
+}
+
+func TestLoadTraceDirErrors(t *testing.T) {
+	if _, err := LoadTraceDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+	if _, err := LoadTraceDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing dir accepted")
+	}
+}
+
+func TestLoadNamesFromFileStem(t *testing.T) {
+	dir := t.TempDir()
+	traces := sampleTraces(t)
+	traces[0].Name = ""
+	if err := SaveTraceDir(dir, traces); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTraceDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Name == "" {
+		t.Fatal("name not defaulted from file stem")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if s := sanitize("a b/c:d"); strings.ContainsAny(s, " /:") {
+		t.Fatalf("sanitize left separators: %q", s)
+	}
+}
+
+func TestKernelSpecBuild(t *testing.T) {
+	for _, name := range []string{"", "kast", "blended", "spectrum", "bagoftokens"} {
+		if _, err := (KernelSpec{Name: name, CutWeight: 2}).Build(); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+	}
+	if _, err := (KernelSpec{Name: "nope"}).Build(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestKernelSpecSimilarity(t *testing.T) {
+	traces := sampleTraces(t)
+	xs := core.ConvertAll(traces, core.Options{})
+	for _, spec := range []KernelSpec{
+		{Name: "kast", CutWeight: 2},
+		{Name: "blended", CutWeight: 2, K: 3, Count: true},
+	} {
+		sim, clipped, err := spec.Similarity(xs, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Rows != 2 || clipped < 0 {
+			t.Fatalf("%s: shape %d clipped %d", spec.Name, sim.Rows, clipped)
+		}
+		min, err := linalg.MinEigenvalue(sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if min < -1e-9 {
+			t.Fatalf("%s: not repaired (%v)", spec.Name, min)
+		}
+	}
+	// Without repair the normalised matrix is returned as-is.
+	if _, clipped, err := (KernelSpec{Name: "kast", CutWeight: 2}).Similarity(xs, false); err != nil || clipped != 0 {
+		t.Fatalf("no-repair path: %v %d", err, clipped)
+	}
+}
+
+func TestWriteMatrixCSV(t *testing.T) {
+	m := linalg.FromRows([][]float64{{1, 0.5}, {0.5, 1}})
+	var sb strings.Builder
+	if err := WriteMatrixCSV(&sb, m, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines: %d\n%s", len(lines), out)
+	}
+	if lines[0] != "name,a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "a,1,0.5") {
+		t.Fatalf("row %q", lines[1])
+	}
+	// Missing headers fall back to indices.
+	sb.Reset()
+	if err := WriteMatrixCSV(&sb, m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x0") {
+		t.Fatal("fallback headers missing")
+	}
+}
+
+func TestLoadMatrix(t *testing.T) {
+	dir := t.TempDir()
+	m := linalg.FromRows([][]float64{{1, 0.5}, {0.5, 1}})
+	named := matrixio.Named{Names: []string{"p", "q"}, Matrix: m}
+
+	jsonPath := filepath.Join(dir, "m.json")
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrixio.WriteJSON(jf, named); err != nil {
+		t.Fatal(err)
+	}
+	jf.Close()
+	got, err := LoadMatrix(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix.MaxAbsDiff(m) != 0 || got.Names[0] != "p" {
+		t.Fatal("json matrix load wrong")
+	}
+
+	csvPath := filepath.Join(dir, "m.csv")
+	cf, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrixio.WriteCSV(cf, named); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+	got, err = LoadMatrix(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix.MaxAbsDiff(m) > 1e-12 {
+		t.Fatal("csv matrix load wrong")
+	}
+
+	if _, err := LoadMatrix(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

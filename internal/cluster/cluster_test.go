@@ -1,0 +1,396 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/linalg"
+	"iokast/internal/xrand"
+)
+
+// pointsDist builds a Euclidean distance matrix from 1-D points.
+func pointsDist(xs []float64) *linalg.Matrix {
+	n := len(xs)
+	d := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			d.Set(i, j, math.Abs(xs[i]-xs[j]))
+		}
+	}
+	return d
+}
+
+func TestClusterRejectsBadInput(t *testing.T) {
+	if _, err := Cluster(linalg.NewMatrix(2, 3), Single); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	bad := linalg.FromRows([][]float64{{0, 1}, {5, 0}})
+	if _, err := Cluster(bad, Single); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+}
+
+func TestTwoObviousClusters(t *testing.T) {
+	// Points: {0, 1, 2} and {10, 11}.
+	d := pointsDist([]float64{0, 1, 2, 10, 11})
+	for _, link := range []Linkage{Single, Complete, Average} {
+		dg, err := Cluster(d, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labels := dg.Cut(2)
+		if labels[0] != labels[1] || labels[1] != labels[2] {
+			t.Fatalf("%v: first blob split: %v", link, labels)
+		}
+		if labels[3] != labels[4] || labels[3] == labels[0] {
+			t.Fatalf("%v: second blob wrong: %v", link, labels)
+		}
+	}
+}
+
+func TestSingleLinkageChaining(t *testing.T) {
+	// A chain 0-1-2-3 with gaps 1 and an outlier at 100. Single linkage
+	// chains the whole run together before absorbing the outlier.
+	d := pointsDist([]float64{0, 1, 2, 3, 100})
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := dg.Cut(2)
+	for i := 1; i < 4; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("chain broken: %v", labels)
+		}
+	}
+	if labels[4] == labels[0] {
+		t.Fatalf("outlier absorbed: %v", labels)
+	}
+}
+
+func TestCompleteVsSingleDiffer(t *testing.T) {
+	// Chain of equidistant points then a slightly separated pair; complete
+	// linkage is more eager to keep compact groups. We only check both
+	// produce valid (possibly different) dendrograms with n-1 merges.
+	d := pointsDist([]float64{0, 1, 2, 3, 4, 5})
+	for _, link := range []Linkage{Single, Complete, Average} {
+		dg, err := Cluster(d, link)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dg.Merges) != 5 {
+			t.Fatalf("%v: %d merges, want 5", link, len(dg.Merges))
+		}
+	}
+}
+
+func TestCutExtremes(t *testing.T) {
+	d := pointsDist([]float64{0, 1, 5})
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := dg.Cut(1)
+	for _, l := range one {
+		if l != 0 {
+			t.Fatalf("Cut(1) = %v", one)
+		}
+	}
+	all := dg.Cut(3)
+	seen := map[int]bool{}
+	for _, l := range all {
+		seen[l] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Cut(n) = %v", all)
+	}
+	// Clamping.
+	if got := dg.Cut(0); len(got) != 3 {
+		t.Fatal("Cut(0) wrong length")
+	}
+	if got := dg.Cut(99); len(got) != 3 {
+		t.Fatal("Cut(99) wrong length")
+	}
+}
+
+func TestCutHeight(t *testing.T) {
+	d := pointsDist([]float64{0, 1, 10})
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := dg.CutHeight(2)
+	if labels[0] != labels[1] || labels[0] == labels[2] {
+		t.Fatalf("CutHeight(2) = %v", labels)
+	}
+	labels = dg.CutHeight(0.5)
+	if labels[0] == labels[1] {
+		t.Fatalf("CutHeight(0.5) merged too much: %v", labels)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	dg, err := Cluster(linalg.NewMatrix(0, 0), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dg.Cut(1); got != nil {
+		t.Fatalf("empty Cut = %v", got)
+	}
+	dg, err = Cluster(linalg.NewMatrix(1, 1), Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dg.Cut(1); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("singleton Cut = %v", got)
+	}
+}
+
+// Property: merge heights are non-decreasing for the three monotone
+// linkages.
+func TestQuickMonotoneHeights(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 2
+		r := xrand.New(seed)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 10
+		}
+		d := pointsDist(pts)
+		for _, link := range []Linkage{Single, Complete, Average} {
+			dg, err := Cluster(d, link)
+			if err != nil {
+				return false
+			}
+			hs := dg.Heights()
+			for i := 1; i < len(hs); i++ {
+				if hs[i] < hs[i-1]-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: single-linkage first merge joins the globally closest pair and
+// its height is the minimum off-diagonal distance (MST edge order).
+func TestQuickFirstMergeIsClosestPair(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%7) + 2
+		r := xrand.New(seed)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 10
+		}
+		d := pointsDist(pts)
+		dg, err := Cluster(d, Single)
+		if err != nil {
+			return false
+		}
+		min := math.Inf(1)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d.At(i, j) < min {
+					min = d.At(i, j)
+				}
+			}
+		}
+		return math.Abs(dg.Merges[0].Height-min) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cut(k) always yields exactly min(k, n) distinct labels.
+func TestQuickCutLabelCount(t *testing.T) {
+	f := func(seed uint64, nRaw, kRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		k := int(kRaw%10) + 1
+		r := xrand.New(seed)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 10
+		}
+		dg, err := Cluster(pointsDist(pts), Average)
+		if err != nil {
+			return false
+		}
+		labels := dg.Cut(k)
+		seen := map[int]bool{}
+		for _, l := range labels {
+			seen[l] = true
+		}
+		want := k
+		if want > n {
+			want = n
+		}
+		return len(seen) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	truth := []string{"A", "A", "B", "B"}
+	p, err := Purity(pred, truth)
+	if err != nil || p != 1 {
+		t.Fatalf("Purity = %v, %v", p, err)
+	}
+	pred = []int{0, 0, 0, 1}
+	p, _ = Purity(pred, truth)
+	if p != 0.75 {
+		t.Fatalf("Purity = %v, want 0.75", p)
+	}
+	if _, err := Purity(nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Purity([]int{0}, []string{"A", "B"}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRandIndex(t *testing.T) {
+	pred := []int{0, 0, 1, 1}
+	truth := []string{"A", "A", "B", "B"}
+	ri, err := RandIndex(pred, truth)
+	if err != nil || ri != 1 {
+		t.Fatalf("RandIndex = %v, %v", ri, err)
+	}
+	// Completely merged prediction: pairs within truth groups agree (2),
+	// cross pairs disagree (4): RI = 2/6.
+	ri, _ = RandIndex([]int{0, 0, 0, 0}, truth)
+	if math.Abs(ri-2.0/6.0) > 1e-12 {
+		t.Fatalf("RandIndex = %v", ri)
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	truth := []string{"A", "A", "B", "B"}
+	ari, err := AdjustedRandIndex([]int{1, 1, 0, 0}, truth)
+	if err != nil || math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("perfect ARI = %v, %v", ari, err)
+	}
+	// All-in-one clustering has expected-level agreement: ARI ~ 0.
+	ari, _ = AdjustedRandIndex([]int{0, 0, 0, 0}, truth)
+	if math.Abs(ari) > 1e-9 {
+		t.Fatalf("trivial ARI = %v, want 0", ari)
+	}
+}
+
+func TestNMI(t *testing.T) {
+	truth := []string{"A", "A", "B", "B"}
+	nmi, err := NMI([]int{5, 5, 9, 9}, truth)
+	if err != nil || math.Abs(nmi-1) > 1e-12 {
+		t.Fatalf("perfect NMI = %v, %v", nmi, err)
+	}
+	nmi, _ = NMI([]int{0, 1, 0, 1}, truth)
+	if nmi > 1e-9 {
+		t.Fatalf("independent NMI = %v, want 0", nmi)
+	}
+}
+
+func TestGroupsExactlyMatch(t *testing.T) {
+	truth := []string{"A", "A", "B", "C", "D", "C", "D"}
+	// Prediction: A alone, B alone, C+D together.
+	pred := []int{0, 0, 1, 2, 2, 2, 2}
+	want := [][]string{{"A"}, {"B"}, {"C", "D"}}
+	if !GroupsExactlyMatch(pred, truth, want) {
+		t.Fatal("exact grouping not recognised")
+	}
+	// One C example misplaced into the A cluster.
+	bad := []int{0, 0, 1, 0, 2, 2, 2}
+	if GroupsExactlyMatch(bad, truth, want) {
+		t.Fatal("misplacement not detected")
+	}
+	// Wrong number of predicted groups.
+	if GroupsExactlyMatch([]int{0, 0, 0, 0, 0, 0, 0}, truth, want) {
+		t.Fatal("merged clustering accepted")
+	}
+	// Unknown truth label.
+	if GroupsExactlyMatch(pred, []string{"A", "A", "B", "C", "Z", "C", "D"}, want) {
+		t.Fatal("unknown label accepted")
+	}
+}
+
+func TestMisplaced(t *testing.T) {
+	truth := []string{"A", "A", "B", "B"}
+	groups := [][]string{{"A"}, {"B"}}
+	if m := Misplaced([]int{0, 0, 1, 1}, truth, groups); m != 0 {
+		t.Fatalf("Misplaced = %d, want 0", m)
+	}
+	if m := Misplaced([]int{0, 0, 0, 1}, truth, groups); m != 1 {
+		t.Fatalf("Misplaced = %d, want 1", m)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Single.String() != "single" || Complete.String() != "complete" || Average.String() != "average" {
+		t.Fatal("linkage names wrong")
+	}
+}
+
+func TestWardLinkageBlobs(t *testing.T) {
+	d := pointsDist([]float64{0, 0.5, 1, 20, 20.5, 21})
+	dg, err := Cluster(d, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := dg.Cut(2)
+	for i := 1; i < 3; i++ {
+		if labels[i] != labels[0] {
+			t.Fatalf("first blob split: %v", labels)
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if labels[i] != labels[3] {
+			t.Fatalf("second blob split: %v", labels)
+		}
+	}
+	if labels[0] == labels[3] {
+		t.Fatalf("blobs merged: %v", labels)
+	}
+}
+
+func TestWardHeightsMonotone(t *testing.T) {
+	d := pointsDist([]float64{0, 1, 3, 9, 10, 30})
+	dg, err := Cluster(d, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := dg.Heights()
+	for i := 1; i < len(hs); i++ {
+		if hs[i] < hs[i-1]-1e-9 {
+			t.Fatalf("ward heights not monotone: %v", hs)
+		}
+	}
+}
+
+func TestWardFirstMergeHeightIsDistance(t *testing.T) {
+	// For two singletons, the Ward merge cost equals half the squared
+	// distance scaled... reported on the original scale it must equal the
+	// pair distance itself for the very first merge of nearest singletons.
+	d := pointsDist([]float64{0, 2, 10})
+	dg, err := Cluster(d, Ward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dg.Merges[0].Height-2) > 1e-12 {
+		t.Fatalf("first ward height %v, want 2", dg.Merges[0].Height)
+	}
+}
+
+func TestLinkageStringWard(t *testing.T) {
+	if Ward.String() != "ward" {
+		t.Fatal("ward name wrong")
+	}
+	if Linkage(99).String() == "" {
+		t.Fatal("unknown linkage name empty")
+	}
+}

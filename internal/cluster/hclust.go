@@ -1,0 +1,246 @@
+// Package cluster implements agglomerative hierarchical clustering — the
+// second learning algorithm the paper applies to Kast similarity matrices
+// (§4.1: "Hierarchical Clustering, the latest using the simple linkage
+// method") — together with dendrogram cutting and external cluster-quality
+// metrics (purity, Rand index, adjusted Rand index, NMI).
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"iokast/internal/linalg"
+)
+
+// Linkage selects the inter-cluster distance update rule.
+type Linkage int
+
+const (
+	// Single linkage (nearest neighbour) — the paper's choice.
+	Single Linkage = iota
+	// Complete linkage (furthest neighbour).
+	Complete
+	// Average linkage (UPGMA).
+	Average
+	// Ward linkage (minimum within-cluster variance increase). Input
+	// distances are treated as Euclidean; heights are reported on the
+	// original distance scale.
+	Ward
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case Single:
+		return "single"
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Ward:
+		return "ward"
+	}
+	return fmt.Sprintf("Linkage(%d)", int(l))
+}
+
+// Merge records one agglomeration step. Cluster ids: 0..n-1 are leaves;
+// n+i is the cluster created by Merges[i].
+type Merge struct {
+	A, B   int     // merged cluster ids
+	Height float64 // distance at which the merge happened
+	Size   int     // size of the resulting cluster
+}
+
+// Dendrogram is the full merge tree over n leaves.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// Cluster runs agglomerative clustering on a symmetric distance matrix
+// using the Lance-Williams update for the chosen linkage. O(n^3) worst
+// case, O(n^2) memory — ample for the paper's 110 examples.
+func Cluster(dist *linalg.Matrix, linkage Linkage) (*Dendrogram, error) {
+	n := dist.Rows
+	if dist.Cols != n {
+		return nil, fmt.Errorf("cluster: distance matrix is %dx%d, want square", n, dist.Cols)
+	}
+	if !dist.IsSymmetric(1e-9 * (1 + dist.FrobeniusNorm())) {
+		return nil, fmt.Errorf("cluster: distance matrix not symmetric")
+	}
+	d := dist.Clone()
+	// Ward's Lance-Williams update operates on squared Euclidean
+	// distances; work on squares internally and report sqrt heights.
+	if linkage == Ward {
+		for i := range d.Data {
+			d.Data[i] *= d.Data[i]
+		}
+	}
+	active := make([]bool, n)
+	id := make([]int, n)   // current cluster id occupying row i
+	size := make([]int, n) // cluster size per row
+	for i := 0; i < n; i++ {
+		active[i] = true
+		id[i] = i
+		size[i] = 1
+	}
+	dg := &Dendrogram{N: n}
+	nextID := n
+
+	for step := 0; step < n-1; step++ {
+		// Find the closest active pair.
+		bi, bj := -1, -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if !active[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !active[j] {
+					continue
+				}
+				if v := d.At(i, j); v < best {
+					best, bi, bj = v, i, j
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		// Merge bj into bi.
+		height := best
+		if linkage == Ward {
+			height = math.Sqrt(math.Max(0, best))
+		}
+		dg.Merges = append(dg.Merges, Merge{
+			A: id[bi], B: id[bj], Height: height, Size: size[bi] + size[bj],
+		})
+		for k := 0; k < n; k++ {
+			if !active[k] || k == bi || k == bj {
+				continue
+			}
+			dik, djk := d.At(bi, k), d.At(bj, k)
+			var nd float64
+			switch linkage {
+			case Complete:
+				nd = math.Max(dik, djk)
+			case Average:
+				nd = (float64(size[bi])*dik + float64(size[bj])*djk) / float64(size[bi]+size[bj])
+			case Ward:
+				ni, nj, nk := float64(size[bi]), float64(size[bj]), float64(size[k])
+				nd = ((ni+nk)*dik + (nj+nk)*djk - nk*best) / (ni + nj + nk)
+			default: // Single
+				nd = math.Min(dik, djk)
+			}
+			d.Set(bi, k, nd)
+			d.Set(k, bi, nd)
+		}
+		size[bi] += size[bj]
+		id[bi] = nextID
+		nextID++
+		active[bj] = false
+	}
+	return dg, nil
+}
+
+// Cut returns cluster assignments (labels 0..k-1, renumbered by first
+// appearance) obtained by stopping the agglomeration after n-k merges —
+// i.e. cutting the dendrogram so exactly k clusters remain. k is clamped
+// to [1, n].
+func (dg *Dendrogram) Cut(k int) []int {
+	n := dg.N
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	parent := make([]int, n+len(dg.Merges))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	merges := n - k
+	if merges > len(dg.Merges) {
+		merges = len(dg.Merges)
+	}
+	for s := 0; s < merges; s++ {
+		m := dg.Merges[s]
+		newID := n + s
+		parent[find(m.A)] = newID
+		parent[find(m.B)] = newID
+	}
+	labels := make([]int, n)
+	next := 0
+	seen := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := find(i)
+		l, ok := seen[r]
+		if !ok {
+			l = next
+			next++
+			seen[r] = l
+		}
+		labels[i] = l
+	}
+	return labels
+}
+
+// CutHeight cuts the dendrogram at a distance threshold: merges with
+// Height <= h are applied.
+func (dg *Dendrogram) CutHeight(h float64) []int {
+	k := dg.N
+	for _, m := range dg.Merges {
+		if m.Height <= h {
+			k--
+		}
+	}
+	return dg.Cut(k)
+}
+
+// Heights returns the merge heights in order.
+func (dg *Dendrogram) Heights() []float64 {
+	hs := make([]float64, len(dg.Merges))
+	for i, m := range dg.Merges {
+		hs[i] = m.Height
+	}
+	return hs
+}
+
+// NaturalK estimates how many clusters the dendrogram "identifies": the k
+// in [2, maxK] whose formation is followed by the largest jump in merge
+// height — the gap a human reads off a dendrogram figure. Returns 1 when
+// there are no merges to compare.
+func (dg *Dendrogram) NaturalK(maxK int) int {
+	n := dg.N
+	if len(dg.Merges) == 0 || n < 2 {
+		return 1
+	}
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	bestK, bestGap := 1, -1.0
+	for k := 2; k <= maxK; k++ {
+		// With k clusters remaining, the next merge is index n-k; the one
+		// before it (which produced the k clusters) is n-k-1.
+		destroyed := dg.Merges[n-k].Height
+		var formed float64
+		if n-k-1 >= 0 {
+			formed = dg.Merges[n-k-1].Height
+		}
+		if gap := destroyed - formed; gap > bestGap {
+			bestGap, bestK = gap, k
+		}
+	}
+	return bestK
+}

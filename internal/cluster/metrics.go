@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// contingency builds the confusion table between two labelings.
+func contingency(pred []int, truth []string) (map[[2]string]int, map[int]int, map[string]int, error) {
+	if len(pred) != len(truth) {
+		return nil, nil, nil, fmt.Errorf("cluster: %d predictions vs %d truths", len(pred), len(truth))
+	}
+	joint := map[[2]string]int{}
+	predCount := map[int]int{}
+	truthCount := map[string]int{}
+	for i, p := range pred {
+		joint[[2]string{fmt.Sprint(p), truth[i]}]++
+		predCount[p]++
+		truthCount[truth[i]]++
+	}
+	return joint, predCount, truthCount, nil
+}
+
+// Purity is the fraction of examples assigned to a cluster whose majority
+// ground-truth label matches theirs: sum over clusters of the cluster's
+// majority count, divided by n. 1.0 means every cluster is label-pure.
+func Purity(pred []int, truth []string) (float64, error) {
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("cluster: empty labeling")
+	}
+	joint, predCount, _, err := contingency(pred, truth)
+	if err != nil {
+		return 0, err
+	}
+	majority := map[int]int{}
+	for key, c := range joint {
+		var p int
+		fmt.Sscan(key[0], &p)
+		if c > majority[p] {
+			majority[p] = c
+		}
+	}
+	total := 0
+	for p := range predCount {
+		total += majority[p]
+	}
+	return float64(total) / float64(len(pred)), nil
+}
+
+// RandIndex is the fraction of example pairs on which the two labelings
+// agree (same-same or different-different).
+func RandIndex(pred []int, truth []string) (float64, error) {
+	n := len(pred)
+	if n != len(truth) {
+		return 0, fmt.Errorf("cluster: %d predictions vs %d truths", n, len(truth))
+	}
+	if n < 2 {
+		return 1, nil
+	}
+	agree := 0
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			samePred := pred[i] == pred[j]
+			sameTruth := truth[i] == truth[j]
+			if samePred == sameTruth {
+				agree++
+			}
+			pairs++
+		}
+	}
+	return float64(agree) / float64(pairs), nil
+}
+
+// AdjustedRandIndex is the Rand index corrected for chance (Hubert &
+// Arabie). 1 = perfect agreement, ~0 = random labeling.
+func AdjustedRandIndex(pred []int, truth []string) (float64, error) {
+	n := len(pred)
+	if n != len(truth) {
+		return 0, fmt.Errorf("cluster: %d predictions vs %d truths", n, len(truth))
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: empty labeling")
+	}
+	joint, predCount, truthCount, err := contingency(pred, truth)
+	if err != nil {
+		return 0, err
+	}
+	choose2 := func(m int) float64 { return float64(m) * float64(m-1) / 2 }
+	var sumJoint, sumPred, sumTruth float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range predCount {
+		sumPred += choose2(c)
+	}
+	for _, c := range truthCount {
+		sumTruth += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumPred * sumTruth / total
+	maxIndex := (sumPred + sumTruth) / 2
+	if maxIndex == expected {
+		return 1, nil // both labelings trivial (all same or all distinct)
+	}
+	return (sumJoint - expected) / (maxIndex - expected), nil
+}
+
+// NMI is the normalised mutual information between the labelings (0..1,
+// arithmetic-mean normalisation).
+func NMI(pred []int, truth []string) (float64, error) {
+	n := len(pred)
+	if n != len(truth) {
+		return 0, fmt.Errorf("cluster: %d predictions vs %d truths", n, len(truth))
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: empty labeling")
+	}
+	joint, predCount, truthCount, err := contingency(pred, truth)
+	if err != nil {
+		return 0, err
+	}
+	fn := float64(n)
+	var mi float64
+	for key, c := range joint {
+		var p int
+		fmt.Sscan(key[0], &p)
+		pxy := float64(c) / fn
+		px := float64(predCount[p]) / fn
+		py := float64(truthCount[key[1]]) / fn
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	entropy := func(counts map[int]int) float64 {
+		var h float64
+		for _, c := range counts {
+			p := float64(c) / fn
+			h -= p * math.Log(p)
+		}
+		return h
+	}
+	hPred := entropy(predCount)
+	var hTruth float64
+	for _, c := range truthCount {
+		p := float64(c) / fn
+		hTruth -= p * math.Log(p)
+	}
+	denom := (hPred + hTruth) / 2
+	if denom == 0 {
+		return 1, nil // both labelings constant
+	}
+	v := mi / denom
+	if v < 0 {
+		v = 0 // numerical noise
+	}
+	return v, nil
+}
+
+// GroupsExactlyMatch reports whether the predicted clustering, as sets of
+// example indices, equals the given partition of ground-truth label groups.
+// Each element of wantGroups is a set of truth labels expected to form one
+// predicted cluster (e.g. {{"A"}, {"B"}, {"C", "D"}} for the paper's Fig. 7
+// result). All truth labels must be covered.
+func GroupsExactlyMatch(pred []int, truth []string, wantGroups [][]string) bool {
+	if len(pred) != len(truth) {
+		return false
+	}
+	// Map each truth label to its expected group index.
+	groupOf := map[string]int{}
+	for gi, g := range wantGroups {
+		for _, label := range g {
+			groupOf[label] = gi
+		}
+	}
+	// Every example's expected group.
+	expected := make([]int, len(truth))
+	for i, lab := range truth {
+		gi, ok := groupOf[lab]
+		if !ok {
+			return false
+		}
+		expected[i] = gi
+	}
+	// The predicted partition must induce exactly the same equivalence.
+	predToGroup := map[int]int{}
+	groupToPred := map[int]int{}
+	for i := range pred {
+		if g, ok := predToGroup[pred[i]]; ok {
+			if g != expected[i] {
+				return false
+			}
+		} else {
+			predToGroup[pred[i]] = expected[i]
+		}
+		if p, ok := groupToPred[expected[i]]; ok {
+			if p != pred[i] {
+				return false
+			}
+		} else {
+			groupToPred[expected[i]] = pred[i]
+		}
+	}
+	return true
+}
+
+// Misplaced counts examples whose predicted cluster's majority truth-group
+// differs from their own, under the expected grouping. It quantifies the
+// paper's "there were not misplaced examples" claim.
+func Misplaced(pred []int, truth []string, wantGroups [][]string) int {
+	groupOf := map[string]int{}
+	for gi, g := range wantGroups {
+		for _, label := range g {
+			groupOf[label] = gi
+		}
+	}
+	// Majority expected-group per predicted cluster.
+	counts := map[int]map[int]int{}
+	for i := range pred {
+		if counts[pred[i]] == nil {
+			counts[pred[i]] = map[int]int{}
+		}
+		counts[pred[i]][groupOf[truth[i]]]++
+	}
+	majority := map[int]int{}
+	for p, m := range counts {
+		bestG, bestC := -1, -1
+		gs := make([]int, 0, len(m))
+		for g := range m {
+			gs = append(gs, g)
+		}
+		sort.Ints(gs) // deterministic tie-break
+		for _, g := range gs {
+			if m[g] > bestC {
+				bestG, bestC = g, m[g]
+			}
+		}
+		majority[p] = bestG
+	}
+	mis := 0
+	for i := range pred {
+		if groupOf[truth[i]] != majority[pred[i]] {
+			mis++
+		}
+	}
+	return mis
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"iokast/internal/linalg"
+)
+
+// Silhouette computes the mean silhouette coefficient of a flat clustering
+// over a distance matrix: for each example, s = (b - a) / max(a, b) where
+// a is its mean distance to its own cluster and b the smallest mean
+// distance to another cluster. Values near 1 mean tight, well-separated
+// clusters; singletons score 0 by convention.
+func Silhouette(dist *linalg.Matrix, assign []int) (float64, error) {
+	n := dist.Rows
+	if dist.Cols != n {
+		return 0, fmt.Errorf("cluster: distance matrix is %dx%d, want square", n, dist.Cols)
+	}
+	if len(assign) != n {
+		return 0, fmt.Errorf("cluster: %d assignments for %d examples", len(assign), n)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("cluster: empty input")
+	}
+	members := map[int][]int{}
+	for i, c := range assign {
+		members[c] = append(members[c], i)
+	}
+	if len(members) < 2 {
+		return 0, fmt.Errorf("cluster: silhouette needs at least 2 clusters")
+	}
+	var total float64
+	for i := 0; i < n; i++ {
+		own := members[assign[i]]
+		if len(own) == 1 {
+			continue // convention: singleton silhouette is 0
+		}
+		var a float64
+		for _, j := range own {
+			if j != i {
+				a += dist.At(i, j)
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := math.Inf(1)
+		for c, m := range members {
+			if c == assign[i] {
+				continue
+			}
+			var d float64
+			for _, j := range m {
+				d += dist.At(i, j)
+			}
+			d /= float64(len(m))
+			if d < b {
+				b = d
+			}
+		}
+		if denom := math.Max(a, b); denom > 0 {
+			total += (b - a) / denom
+		}
+	}
+	return total / float64(n), nil
+}
+
+// CopheneticDistances returns the matrix of cophenetic distances: entry
+// (i, j) is the merge height at which examples i and j first share a
+// cluster.
+func (dg *Dendrogram) CopheneticDistances() *linalg.Matrix {
+	n := dg.N
+	out := linalg.NewMatrix(n, n)
+	// Union-find with explicit member lists; on each merge, all cross
+	// pairs receive the merge height. Total work is O(n^2) across all
+	// merges since each pair is set exactly once.
+	parent := make([]int, n+len(dg.Merges))
+	membersOf := make([][]int, n+len(dg.Merges))
+	for i := 0; i < n; i++ {
+		parent[i] = i
+		membersOf[i] = []int{i}
+	}
+	for s, m := range dg.Merges {
+		id := n + s
+		parent[id] = id
+		a, b := rootOf(parent, m.A), rootOf(parent, m.B)
+		for _, i := range membersOf[a] {
+			for _, j := range membersOf[b] {
+				out.Set(i, j, m.Height)
+				out.Set(j, i, m.Height)
+			}
+		}
+		membersOf[id] = append(membersOf[a], membersOf[b]...)
+		parent[a], parent[b] = id, id
+		membersOf[a], membersOf[b] = nil, nil
+	}
+	return out
+}
+
+func rootOf(parent []int, x int) int {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
+}
+
+// CopheneticCorrelation measures how faithfully a dendrogram preserves the
+// original pairwise distances: the Pearson correlation between the input
+// distances and the cophenetic distances over all pairs. 1 means the tree
+// is a perfect ultrametric fit.
+func CopheneticCorrelation(dist *linalg.Matrix, dg *Dendrogram) (float64, error) {
+	n := dg.N
+	if dist.Rows != n || dist.Cols != n {
+		return 0, fmt.Errorf("cluster: distance matrix is %dx%d for %d leaves", dist.Rows, dist.Cols, n)
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("cluster: need at least 2 leaves")
+	}
+	coph := dg.CopheneticDistances()
+	var xs, ys []float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			xs = append(xs, dist.At(i, j))
+			ys = append(ys, coph.At(i, j))
+		}
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) (float64, error) {
+	n := float64(len(xs))
+	var mx, my float64
+	for i := range xs {
+		mx += xs[i]
+		my += ys[i]
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("cluster: zero variance in distances")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}

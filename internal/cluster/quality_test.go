@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/linalg"
+	"iokast/internal/xrand"
+)
+
+func TestSilhouetteWellSeparated(t *testing.T) {
+	d := pointsDist([]float64{0, 0.1, 10, 10.1})
+	s, err := Silhouette(d, []int{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Fatalf("silhouette %v for well-separated clusters", s)
+	}
+	// Deliberately bad assignment scores much lower.
+	bad, err := Silhouette(d, []int{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad >= s {
+		t.Fatalf("bad assignment %v not below good %v", bad, s)
+	}
+}
+
+func TestSilhouetteErrors(t *testing.T) {
+	d := pointsDist([]float64{0, 1})
+	if _, err := Silhouette(linalg.NewMatrix(2, 3), []int{0, 1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Silhouette(d, []int{0}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Silhouette(d, []int{0, 0}); err == nil {
+		t.Fatal("single cluster accepted")
+	}
+	if _, err := Silhouette(linalg.NewMatrix(0, 0), nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestSilhouetteSingletons(t *testing.T) {
+	d := pointsDist([]float64{0, 5, 10})
+	s, err := Silhouette(d, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("all-singleton silhouette %v, want 0", s)
+	}
+}
+
+// Property: silhouette is within [-1, 1].
+func TestQuickSilhouetteBounds(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 4
+		r := xrand.New(seed)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 10
+		}
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = r.Intn(2)
+		}
+		// Ensure two clusters exist.
+		assign[0], assign[1] = 0, 1
+		s, err := Silhouette(pointsDist(pts), assign)
+		if err != nil {
+			return false
+		}
+		return s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopheneticDistances(t *testing.T) {
+	// Points 0,1 close; 10 far. Single linkage: merge {0,1} at 1, then
+	// with {2} at 9.
+	d := pointsDist([]float64{0, 1, 10})
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coph := dg.CopheneticDistances()
+	if coph.At(0, 1) != 1 {
+		t.Fatalf("coph(0,1) = %v", coph.At(0, 1))
+	}
+	if coph.At(0, 2) != 9 || coph.At(1, 2) != 9 {
+		t.Fatalf("coph to outlier: %v, %v", coph.At(0, 2), coph.At(1, 2))
+	}
+	if coph.At(0, 0) != 0 {
+		t.Fatal("self cophenetic distance nonzero")
+	}
+	if !coph.IsSymmetric(0) {
+		t.Fatal("cophenetic matrix asymmetric")
+	}
+}
+
+func TestCopheneticCorrelationUltrametric(t *testing.T) {
+	// An ultrametric input is fit perfectly: correlation 1.
+	d := linalg.FromRows([][]float64{
+		{0, 1, 4, 4},
+		{1, 0, 4, 4},
+		{4, 4, 0, 2},
+		{4, 4, 2, 0},
+	})
+	dg, err := Cluster(d, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := CopheneticCorrelation(d, dg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-1) > 1e-12 {
+		t.Fatalf("ultrametric correlation %v", c)
+	}
+}
+
+func TestCopheneticCorrelationErrors(t *testing.T) {
+	d := pointsDist([]float64{0, 1, 2})
+	dg, _ := Cluster(d, Single)
+	if _, err := CopheneticCorrelation(linalg.NewMatrix(2, 2), dg); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	one := &Dendrogram{N: 1}
+	if _, err := CopheneticCorrelation(linalg.NewMatrix(1, 1), one); err == nil {
+		t.Fatal("single leaf accepted")
+	}
+	// Constant distances: zero variance.
+	flat := linalg.FromRows([][]float64{{0, 1, 1}, {1, 0, 1}, {1, 1, 0}})
+	dgf, _ := Cluster(flat, Single)
+	if _, err := CopheneticCorrelation(flat, dgf); err == nil {
+		t.Fatal("zero-variance input accepted")
+	}
+}
+
+// Property: cophenetic distances from single linkage never underestimate
+// ... they never exceed the maximum input distance, and dominate the
+// minimum spanning path: coph(i,j) <= max input distance and coph is an
+// ultrametric (coph(i,k) <= max(coph(i,j), coph(j,k))).
+func TestQuickCopheneticUltrametric(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 3
+		r := xrand.New(seed)
+		pts := make([]float64, n)
+		for i := range pts {
+			pts[i] = r.Float64() * 10
+		}
+		d := pointsDist(pts)
+		dg, err := Cluster(d, Single)
+		if err != nil {
+			return false
+		}
+		coph := dg.CopheneticDistances()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if coph.At(i, k) > math.Max(coph.At(i, j), coph.At(j, k))+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iokast/internal/trace"
+)
+
+// Golden tests: full-pipeline conversions pinned to files in testdata/, so
+// a change anywhere in filtering, tree building, compression, or
+// serialisation that alters output is caught with a readable diff.
+func TestConvertGolden(t *testing.T) {
+	cases := []struct {
+		traceFile  string
+		goldenFile string
+		opt        Options
+	}{
+		{"checkpoint.trace", "checkpoint.golden", Options{}},
+		{"seeker.trace", "seeker.golden", Options{}},
+		{"seeker.trace", "seeker.nobytes.golden", Options{IgnoreBytes: true}},
+		{"copier.trace", "copier.golden", Options{}},
+	}
+	for _, c := range cases {
+		t.Run(c.goldenFile, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("testdata", c.traceFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := trace.ParseString(string(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(filepath.Join("testdata", c.goldenFile))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := strings.TrimSpace(string(golden))
+			if got := Convert(tr, c.opt).Format(); got != want {
+				t.Fatalf("conversion drifted:\n got %q\nwant %q", got, want)
+			}
+		})
+	}
+}
+
+// The copier golden also documents a subtlety: the interleaved read/write
+// run does NOT merge under rule 3 because the operations live on different
+// handles and therefore in different BLOCK nodes.
+func TestCopierKeepsHandlesApart(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "copier.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.ParseString(string(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Convert(tr, Options{})
+	if strings.Contains(s.Format(), "read+write") {
+		t.Fatalf("cross-handle ops merged: %q", s.Format())
+	}
+}

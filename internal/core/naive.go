@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"iokast/internal/token"
+)
+
+// NaiveKast is a direct, per-definition implementation of the Kast Spectrum
+// Kernel. It enumerates substrings explicitly and is O(n^3)-ish per string
+// pair, so it is only suitable for small inputs — its purpose is to serve
+// as an executable specification that cross-checks the optimised Kast
+// implementation in property-based tests, and to make the kernel semantics
+// auditable line by line.
+type NaiveKast struct {
+	CutWeight int
+	Viability Viability
+}
+
+// Name implements kernel.Kernel.
+func (k *NaiveKast) Name() string {
+	return fmt.Sprintf("kast-naive(cut=%d,%s)", k.CutWeight, k.Viability)
+}
+
+type occurrence struct {
+	start, length int
+	weight        int
+}
+
+// Compare implements kernel.Kernel.
+func (k *NaiveKast) Compare(a, b token.String) float64 {
+	occsA := substringOccurrences(a)
+	occsB := substringOccurrences(b)
+
+	// Shared substrings only.
+	type entry struct {
+		occsA, occsB []occurrence
+	}
+	shared := map[string]*entry{}
+	for key, oa := range occsA {
+		if ob, ok := occsB[key]; ok {
+			shared[key] = &entry{occsA: oa, occsB: ob}
+		}
+	}
+
+	// Viability per the selected variant.
+	viable := map[string]bool{}
+	for key, e := range shared {
+		switch k.Viability {
+		case ViaTotalWeight:
+			viable[key] = totalWeight(e.occsA) >= k.CutWeight && totalWeight(e.occsB) >= k.CutWeight
+		default:
+			viable[key] = maxWeight(e.occsA) >= k.CutWeight && maxWeight(e.occsB) >= k.CutWeight
+		}
+	}
+
+	// Collect all viable occurrences per string for the coverage test.
+	var viableOccsA, viableOccsB []occurrence
+	for key, e := range shared {
+		if viable[key] {
+			viableOccsA = append(viableOccsA, e.occsA...)
+			viableOccsB = append(viableOccsB, e.occsB...)
+		}
+	}
+
+	uncovered := func(o occurrence, all []occurrence) bool {
+		for _, c := range all {
+			if c.length > o.length && c.start <= o.start && c.start+c.length >= o.start+o.length {
+				return false
+			}
+		}
+		return true
+	}
+
+	var sum float64
+	for key, e := range shared {
+		if !viable[key] {
+			continue
+		}
+		feature := false
+		for _, o := range e.occsA {
+			if uncovered(o, viableOccsA) {
+				feature = true
+				break
+			}
+		}
+		if !feature {
+			for _, o := range e.occsB {
+				if uncovered(o, viableOccsB) {
+					feature = true
+					break
+				}
+			}
+		}
+		if feature {
+			sum += float64(totalWeight(e.occsA)) * float64(totalWeight(e.occsB))
+		}
+	}
+	return sum
+}
+
+// substringOccurrences enumerates every substring of x keyed by its literal
+// sequence, with all its occurrences.
+func substringOccurrences(x token.String) map[string][]occurrence {
+	out := map[string][]occurrence{}
+	n := len(x)
+	for i := 0; i < n; i++ {
+		var sb strings.Builder
+		weight := 0
+		for l := 1; i+l <= n; l++ {
+			if l > 1 {
+				sb.WriteString("\x1f")
+			}
+			sb.WriteString(x[i+l-1].Literal)
+			weight += x[i+l-1].Weight
+			out[sb.String()] = append(out[sb.String()], occurrence{start: i, length: l, weight: weight})
+		}
+	}
+	return out
+}
+
+func totalWeight(os []occurrence) int {
+	t := 0
+	for _, o := range os {
+		t += o.weight
+	}
+	return t
+}
+
+func maxWeight(os []occurrence) int {
+	m := 0
+	for _, o := range os {
+		if o.weight > m {
+			m = o.weight
+		}
+	}
+	return m
+}

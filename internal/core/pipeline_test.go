@@ -1,0 +1,118 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"iokast/internal/trace"
+	"iokast/internal/tree"
+)
+
+func mustTrace(t *testing.T, text string) *trace.Trace {
+	t.Helper()
+	tr, err := trace.ParseString(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+const sampleTrace = `
+open fh=1
+write fh=1 bytes=8
+write fh=1 bytes=8
+write fh=1 bytes=8
+fileno fh=1
+close fh=1
+open fh=2
+lseek fh=2
+read fh=2 bytes=4096
+lseek fh=2
+read fh=2 bytes=4096
+close fh=2
+`
+
+func TestConvertWithBytes(t *testing.T) {
+	s := Convert(mustTrace(t, sampleTrace), Options{})
+	got := s.Format()
+	want := "[ROOT]:1 [HANDLE]:1 [BLOCK]:1 write[8]:3 [LEVEL_UP]:3 [HANDLE]:1 [BLOCK]:1 lseek+read[4096]:2"
+	if got != want {
+		t.Fatalf("Convert:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestConvertIgnoreBytes(t *testing.T) {
+	s := Convert(mustTrace(t, sampleTrace), Options{IgnoreBytes: true})
+	got := s.Format()
+	// With bytes zeroed, lseek/read merge under rule 3 (same zero count).
+	want := "[ROOT]:1 [HANDLE]:1 [BLOCK]:1 write[0]:3 [LEVEL_UP]:3 [HANDLE]:1 [BLOCK]:1 lseek+read[0]:2"
+	if got != want {
+		t.Fatalf("Convert(no bytes):\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestConvertDoesNotMutateInput(t *testing.T) {
+	tr := mustTrace(t, sampleTrace)
+	before := tr.TotalBytes()
+	Convert(tr, Options{IgnoreBytes: true})
+	if tr.TotalBytes() != before {
+		t.Fatal("IgnoreBytes mutated the input trace")
+	}
+}
+
+func TestConvertNoCompression(t *testing.T) {
+	s := Convert(mustTrace(t, sampleTrace), Options{Compress: tree.CompressOptions{Passes: NoCompression}})
+	// Three separate write tokens survive.
+	if !strings.Contains(s.Format(), "write[8]:1 [LEVEL_UP]:1 write[8]:1") {
+		t.Fatalf("compression not disabled: %q", s.Format())
+	}
+}
+
+func TestConvertCustomPasses(t *testing.T) {
+	one := Convert(mustTrace(t, sampleTrace), Options{Compress: tree.CompressOptions{Passes: 1}})
+	two := Convert(mustTrace(t, sampleTrace), Options{})
+	// One pass merges lseek+read pairs (rule 4) but cannot collapse the
+	// resulting run (rule 1 already ran this pass); two passes can.
+	if one.Equal(two) {
+		t.Fatalf("pass count had no effect: %q", one.Format())
+	}
+}
+
+func TestConvertCustomNegligible(t *testing.T) {
+	s := Convert(mustTrace(t, sampleTrace), Options{Negligible: map[string]bool{
+		"write": true, "fileno": true,
+	}})
+	if strings.Contains(s.Format(), "write") {
+		t.Fatalf("negligible op survived: %q", s.Format())
+	}
+}
+
+func TestConvertTreeMatchesConvert(t *testing.T) {
+	tr := mustTrace(t, sampleTrace)
+	n := ConvertTree(tr, Options{})
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := Convert(tr, Options{}); got.Format() == "" || n.CountLeaves() == 0 {
+		t.Fatal("degenerate conversion")
+	}
+}
+
+func TestConvertAll(t *testing.T) {
+	tr := mustTrace(t, sampleTrace)
+	out := ConvertAll([]*trace.Trace{tr, tr}, Options{})
+	if len(out) != 2 || !out[0].Equal(out[1]) {
+		t.Fatal("ConvertAll inconsistent")
+	}
+}
+
+// The two string variants of the same trace must produce identical
+// structures when the trace carries no byte info at all.
+func TestConvertVariantsAgreeOnBytelessTrace(t *testing.T) {
+	tr := mustTrace(t, "open fh=1\nlseek fh=1\nlseek fh=1\nclose fh=1\n")
+	a := Convert(tr, Options{})
+	b := Convert(tr, Options{IgnoreBytes: true})
+	if !a.Equal(b) {
+		t.Fatalf("variants differ on byteless trace: %q vs %q", a.Format(), b.Format())
+	}
+}

@@ -1,0 +1,148 @@
+// Package experiments reproduces every figure and evaluation claim of the
+// paper (the experiment index E1-E8 in DESIGN.md). Each runner produces a
+// deterministic textual Report; cmd/iokexp prints them and EXPERIMENTS.md
+// records paper-vs-measured outcomes.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iokast/internal/cluster"
+	"iokast/internal/core"
+	"iokast/internal/iogen"
+	"iokast/internal/kernel"
+	"iokast/internal/kpca"
+	"iokast/internal/linalg"
+	"iokast/internal/token"
+)
+
+// DefaultSeed is the dataset seed used by all recorded experiments.
+const DefaultSeed = 20170904 // PaCT 2017 conference start date
+
+// PaperGroups is the clustering the paper reports for the byte-aware Kast
+// kernel: A alone, B alone, C and D merged.
+var PaperGroups = [][]string{{"A"}, {"B"}, {"C", "D"}}
+
+// NoByteSmallCutGroups is the clustering the paper reports for byte-free
+// strings at small cut weights: B alone, A+C+D merged.
+var NoByteSmallCutGroups = [][]string{{"B"}, {"A", "C", "D"}}
+
+// BlendedGroups is the clustering the paper reports for the Blended
+// Spectrum baseline: A alone, B+C+D merged.
+var BlendedGroups = [][]string{{"A"}, {"B", "C", "D"}}
+
+// Pipeline holds the shared dataset and its two string representations.
+type Pipeline struct {
+	Dataset        *iogen.Dataset
+	StringsBytes   []token.String // byte-aware representation
+	StringsNoBytes []token.String // byte-free representation
+}
+
+// NewPipeline builds the paper dataset for a seed and converts every trace
+// to both string variants.
+func NewPipeline(seed uint64) (*Pipeline, error) {
+	ds, err := iogen.Build(iogen.PaperOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		Dataset:        ds,
+		StringsBytes:   core.ConvertAll(ds.Traces, core.Options{}),
+		StringsNoBytes: core.ConvertAll(ds.Traces, core.Options{IgnoreBytes: true}),
+	}, nil
+}
+
+// Strings returns the representation for the requested variant.
+func (p *Pipeline) Strings(withBytes bool) []token.String {
+	if withBytes {
+		return p.StringsBytes
+	}
+	return p.StringsNoBytes
+}
+
+// Labels returns the ground-truth labels.
+func (p *Pipeline) Labels() []string { return p.Dataset.Labels }
+
+// SimilarityResult is a fully post-processed similarity matrix.
+type SimilarityResult struct {
+	Raw        *linalg.Matrix // kernel values before normalisation
+	Normalized *linalg.Matrix // after the kernel's normalisation scheme
+	Repaired   *linalg.Matrix // after clipping negative eigenvalues
+	Clipped    int            // number of clipped eigenvalues
+}
+
+// KastSimilarity computes the paper's similarity matrix: raw Kast Gram,
+// Eq. 12 normalisation, then PSD repair ("If the matrices presented
+// negative eigenvalues, they were replaced by zero and the matrices
+// rebuilt").
+func (p *Pipeline) KastSimilarity(cutWeight int, withBytes bool) (*SimilarityResult, error) {
+	xs := p.Strings(withBytes)
+	k := &core.Kast{CutWeight: cutWeight}
+	raw := kernel.Gram(k, xs)
+	norm, err := core.NormalizeGramPaper(raw, xs, cutWeight)
+	if err != nil {
+		return nil, err
+	}
+	repaired, clipped, err := kernel.PSDRepair(norm)
+	if err != nil {
+		return nil, err
+	}
+	return &SimilarityResult{Raw: raw, Normalized: norm, Repaired: repaired, Clipped: clipped}, nil
+}
+
+// BaselineSimilarity computes the same post-processed matrix for any
+// feature-map baseline kernel, using cosine normalisation.
+func (p *Pipeline) BaselineSimilarity(k kernel.Kernel, withBytes bool) (*SimilarityResult, error) {
+	xs := p.Strings(withBytes)
+	raw := kernel.Gram(k, xs)
+	norm := kernel.NormalizeCosine(raw)
+	repaired, clipped, err := kernel.PSDRepair(norm)
+	if err != nil {
+		return nil, err
+	}
+	return &SimilarityResult{Raw: raw, Normalized: norm, Repaired: repaired, Clipped: clipped}, nil
+}
+
+// ClusterCut runs single-linkage clustering on the repaired similarity and
+// cuts at k clusters.
+func (s *SimilarityResult) ClusterCut(k int) ([]int, *cluster.Dendrogram, error) {
+	d := kernel.KernelDistance(s.Repaired)
+	dg, err := cluster.Cluster(d, cluster.Single)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dg.Cut(k), dg, nil
+}
+
+// KPCA projects the repaired similarity onto the top components.
+func (s *SimilarityResult) KPCA(components int) (*kpca.Result, error) {
+	return kpca.Analyze(s.Repaired, kpca.Options{Components: components})
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID      string
+	Title   string
+	Pass    bool   // measured result matches the paper's claim
+	Summary string // one-line paper-vs-measured comparison
+	Detail  string // rendered figures/tables
+}
+
+// Render formats the report for terminal output.
+func (r *Report) Render() string {
+	status := "MATCH"
+	if !r.Pass {
+		status = "DIFFER"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s [%s]\n", r.ID, r.Title, status)
+	fmt.Fprintf(&b, "%s\n", r.Summary)
+	if r.Detail != "" {
+		b.WriteString(r.Detail)
+		if !strings.HasSuffix(r.Detail, "\n") {
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"iokast/internal/cluster"
+	"iokast/internal/core"
+	"iokast/internal/iogen"
+	"iokast/internal/kernel"
+	"iokast/internal/plot"
+)
+
+// ExtendedGroups is the expected clustering of the 6-category dataset:
+// the paper's three groups plus one per extension category.
+var ExtendedGroups = [][]string{{"A"}, {"B"}, {"C", "D"}, {"E"}, {"F"}}
+
+// RunX1 is the generalisation experiment beyond the paper: adding two new
+// pattern families (E: two-phase collective I/O, F: log appending) must
+// not disturb the original structure — the byte-aware Kast kernel at cut
+// weight 2 should identify five groups: {A},{B},{C∪D},{E},{F}.
+func RunX1(seed uint64) (*Report, error) {
+	ds, err := iogen.BuildExtended(iogen.ExtendedOptions(seed))
+	if err != nil {
+		return nil, err
+	}
+	xs := core.ConvertAll(ds.Traces, core.Options{})
+	raw := kernel.Gram(&core.Kast{CutWeight: 2}, xs)
+	norm, err := core.NormalizeGramPaper(raw, xs, 2)
+	if err != nil {
+		return nil, err
+	}
+	rep, clipped, err := kernel.PSDRepair(norm)
+	if err != nil {
+		return nil, err
+	}
+	dg, err := cluster.Cluster(kernel.KernelDistance(rep), cluster.Single)
+	if err != nil {
+		return nil, err
+	}
+	assign := dg.Cut(5)
+	exact := cluster.GroupsExactlyMatch(assign, ds.Labels, ExtendedGroups)
+	mis := cluster.Misplaced(assign, ds.Labels, ExtendedGroups)
+	naturalK := dg.NaturalK(8)
+
+	detail := plot.RenderClusterSummary(assign, ds.Labels) +
+		fmt.Sprintf("clipped=%d naturalK=%d misplaced=%d\n", clipped, naturalK, mis)
+	return &Report{
+		ID:    "X1",
+		Title: "Extension: 6-category generalisation (beyond the paper)",
+		Pass:  exact && mis == 0,
+		Summary: fmt.Sprintf("expected {A},{B},{C+D},{E},{F} | measured: exact=%v misplaced=%d naturalK=%d",
+			exact, mis, naturalK),
+		Detail: detail,
+	}, nil
+}

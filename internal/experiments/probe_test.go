@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"iokast/internal/kernel"
+	"iokast/internal/plot"
+)
+
+// TestProbeShapes is a development probe: it prints the cluster structure
+// for the main configurations so the generator tuning can be inspected with
+// `go test -run Probe -v`.
+func TestProbeShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("probe only")
+	}
+	p, err := NewPipeline(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := p.Labels()
+
+	kast, err := p.KastSimilarity(2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kast bytes cw=2: clipped=%d", kast.Clipped)
+	for _, k := range []int{2, 3, 4} {
+		assign, dg, err := kast.ClusterCut(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("kast bytes cw=2 cut=%d naturalK=%d:\n%s", k, dg.NaturalK(6), plot.RenderClusterSummary(assign, labels))
+	}
+
+	for _, cw := range []int{2, 8, 32, 64, 128, 256, 512, 1024} {
+		nb, err := p.KastSimilarity(cw, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, dg, _ := nb.ClusterCut(2)
+		a3, _, _ := nb.ClusterCut(3)
+		t.Logf("kast NO bytes cw=%d clipped=%d naturalK=%d cut2:\n%scut3:\n%s", cw, nb.Clipped, dg.NaturalK(6),
+			plot.RenderClusterSummary(a2, labels), plot.RenderClusterSummary(a3, labels))
+	}
+
+	for _, pp := range []int{2, 3, 5} {
+		for _, cw := range []int{0, 2} {
+			bl, err := p.BaselineSimilarity(&kernel.Blended{P: pp, Mode: kernel.Count, CutWeight: cw}, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a2, dg, _ := bl.ClusterCut(2)
+			a3, _, _ := bl.ClusterCut(3)
+			t.Logf("blended count P=%d cut=%d clipped=%d naturalK=%d cut2:\n%scut3:\n%s", pp, cw, bl.Clipped, dg.NaturalK(6),
+				plot.RenderClusterSummary(a2, labels), plot.RenderClusterSummary(a3, labels))
+		}
+	}
+}

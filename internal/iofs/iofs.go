@@ -1,0 +1,242 @@
+// Package iofs provides an in-memory POSIX-like file layer whose every
+// call is recorded as an I/O trace operation. The paper's input data is
+// exactly this kind of capture ("The I/O access pattern files are plain
+// text files where each line corresponds to an operation"); iofs lets Go
+// programs play the role of the instrumented application, so realistic
+// workloads can be written as code and their access patterns fed to the
+// pipeline.
+//
+//	fs := iofs.New()
+//	f, _ := fs.Open("data.bin", iofs.ReadWrite)
+//	f.Write(make([]byte, 4096))
+//	f.Seek(0, iofs.SeekStart)
+//	f.Read(make([]byte, 512))
+//	f.Close()
+//	tr := fs.Trace() // ready for core.Convert
+package iofs
+
+import (
+	"fmt"
+	"sort"
+
+	"iokast/internal/trace"
+)
+
+// Mode selects how a file is opened.
+type Mode int
+
+// Open modes.
+const (
+	ReadOnly Mode = iota
+	WriteOnly
+	ReadWrite
+	Append
+)
+
+// Whence values for Seek.
+const (
+	SeekStart = iota
+	SeekCurrent
+	SeekEnd
+)
+
+// FS is an in-memory recording filesystem. Not safe for concurrent use;
+// the paper's traces are per-process chronological logs, and a recording
+// filesystem shared across goroutines would interleave unrelated patterns.
+type FS struct {
+	files      map[string][]byte
+	nextHandle int
+	open       map[int]*File
+	rec        trace.Trace
+}
+
+// New returns an empty recording filesystem. Handles start at 3, as they
+// would in a process with stdio occupying 0-2.
+func New() *FS {
+	return &FS{
+		files:      map[string][]byte{},
+		nextHandle: 3,
+		open:       map[int]*File{},
+	}
+}
+
+// File is an open file handle.
+type File struct {
+	fs     *FS
+	handle int
+	path   string
+	mode   Mode
+	offset int64
+	closed bool
+}
+
+// Open opens (creating, unless ReadOnly) the named file and records an
+// "open" operation.
+func (fs *FS) Open(path string, mode Mode) (*File, error) {
+	if _, ok := fs.files[path]; !ok {
+		if mode == ReadOnly {
+			return nil, fmt.Errorf("iofs: open %s: no such file", path)
+		}
+		fs.files[path] = nil
+	}
+	f := &File{fs: fs, handle: fs.nextHandle, path: path, mode: mode}
+	fs.nextHandle++
+	if mode == Append {
+		f.offset = int64(len(fs.files[path]))
+	}
+	fs.open[f.handle] = f
+	fs.record(trace.Op{Name: "open", Handle: f.handle, Path: path})
+	return f, nil
+}
+
+func (fs *FS) record(op trace.Op) { fs.rec.Ops = append(fs.rec.Ops, op) }
+
+// Handle returns the numeric file handle.
+func (f *File) Handle() int { return f.handle }
+
+// Offset returns the current file position.
+func (f *File) Offset() int64 { return f.offset }
+
+// Read reads up to len(p) bytes from the current offset and records a
+// "read" operation with the byte count actually read.
+func (f *File) Read(p []byte) (int, error) {
+	if err := f.usable(); err != nil {
+		return 0, err
+	}
+	if f.mode == WriteOnly || f.mode == Append {
+		return 0, fmt.Errorf("iofs: read %s: file is write-only", f.path)
+	}
+	data := f.fs.files[f.path]
+	if f.offset >= int64(len(data)) {
+		f.fs.record(trace.Op{Name: "read", Handle: f.handle, Bytes: 0})
+		return 0, nil // EOF by zero count, as POSIX read(2)
+	}
+	n := copy(p, data[f.offset:])
+	f.offset += int64(n)
+	f.fs.record(trace.Op{Name: "read", Handle: f.handle, Bytes: int64(n)})
+	return n, nil
+}
+
+// Write writes p at the current offset (extending the file as needed) and
+// records a "write" operation.
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.usable(); err != nil {
+		return 0, err
+	}
+	if f.mode == ReadOnly {
+		return 0, fmt.Errorf("iofs: write %s: file is read-only", f.path)
+	}
+	data := f.fs.files[f.path]
+	end := f.offset + int64(len(p))
+	if int64(len(data)) < end {
+		grown := make([]byte, end)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[f.offset:end], p)
+	f.fs.files[f.path] = data
+	f.offset = end
+	f.fs.record(trace.Op{Name: "write", Handle: f.handle, Bytes: int64(len(p))})
+	return len(p), nil
+}
+
+// Seek moves the file position and records an "lseek" operation (with no
+// byte count, matching the traces the paper compresses via rule 4).
+func (f *File) Seek(offset int64, whence int) (int64, error) {
+	if err := f.usable(); err != nil {
+		return 0, err
+	}
+	var base int64
+	switch whence {
+	case SeekStart:
+		base = 0
+	case SeekCurrent:
+		base = f.offset
+	case SeekEnd:
+		base = int64(len(f.fs.files[f.path]))
+	default:
+		return 0, fmt.Errorf("iofs: seek %s: bad whence %d", f.path, whence)
+	}
+	pos := base + offset
+	if pos < 0 {
+		return 0, fmt.Errorf("iofs: seek %s: negative position", f.path)
+	}
+	f.offset = pos
+	f.fs.record(trace.Op{Name: "lseek", Handle: f.handle})
+	return pos, nil
+}
+
+// Sync records an "fsync" operation (a no-op for the in-memory store).
+func (f *File) Sync() error {
+	if err := f.usable(); err != nil {
+		return err
+	}
+	f.fs.record(trace.Op{Name: "fsync", Handle: f.handle})
+	return nil
+}
+
+// Close records a "close" operation and invalidates the handle.
+func (f *File) Close() error {
+	if err := f.usable(); err != nil {
+		return err
+	}
+	f.closed = true
+	delete(f.fs.open, f.handle)
+	f.fs.record(trace.Op{Name: "close", Handle: f.handle})
+	return nil
+}
+
+func (f *File) usable() error {
+	if f.closed {
+		return fmt.Errorf("iofs: %s: use of closed file", f.path)
+	}
+	return nil
+}
+
+// Size returns the current size of the named file.
+func (fs *FS) Size(path string) (int64, error) {
+	data, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("iofs: stat %s: no such file", path)
+	}
+	return int64(len(data)), nil
+}
+
+// Paths lists the files created so far, sorted.
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// OpenHandles returns the handles still open (useful to assert a workload
+// cleaned up after itself before converting its trace).
+func (fs *FS) OpenHandles() []int {
+	out := make([]int, 0, len(fs.open))
+	for h := range fs.open {
+		out = append(out, h)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Trace returns a copy of the recorded access pattern.
+func (fs *FS) Trace() *trace.Trace {
+	c := fs.rec.Clone()
+	return c
+}
+
+// SetName sets the recorded trace's name and label metadata.
+func (fs *FS) SetName(name, label string) {
+	fs.rec.Name = name
+	fs.rec.Label = label
+}
+
+// Reset clears the recording (file contents are kept), so one filesystem
+// can capture several phases separately.
+func (fs *FS) Reset() {
+	fs.rec.Ops = nil
+}

@@ -1,0 +1,249 @@
+package iofs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+)
+
+func TestOpenReadWriteClose(t *testing.T) {
+	fs := New()
+	f, err := fs.Open("a.bin", ReadWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Handle() < 3 {
+		t.Fatalf("handle %d, want >= 3", f.Handle())
+	}
+	if n, err := f.Write([]byte("hello")); err != nil || n != 5 {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	if _, err := f.Seek(0, SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if n, err := f.Read(buf); err != nil || n != 5 || !bytes.Equal(buf, []byte("hello")) {
+		t.Fatalf("Read = %d %q %v", n, buf, err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr := fs.Trace()
+	want := []string{"open", "write", "lseek", "read", "close"}
+	if len(tr.Ops) != len(want) {
+		t.Fatalf("ops %v", tr.Ops)
+	}
+	for i, w := range want {
+		if tr.Ops[i].Name != w {
+			t.Fatalf("op %d = %s, want %s", i, tr.Ops[i].Name, w)
+		}
+	}
+	if tr.Ops[1].Bytes != 5 || tr.Ops[3].Bytes != 5 {
+		t.Fatal("byte counts wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissingReadOnly(t *testing.T) {
+	fs := New()
+	if _, err := fs.Open("nope", ReadOnly); err == nil {
+		t.Fatal("missing file opened read-only")
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	fs := New()
+	w, _ := fs.Open("x", WriteOnly)
+	if _, err := w.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read from write-only handle")
+	}
+	w.Write([]byte("abc"))
+	w.Close()
+	r, err := fs.Open("x", ReadOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Write([]byte("no")); err == nil {
+		t.Fatal("write to read-only handle")
+	}
+	r.Close()
+}
+
+func TestAppendMode(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("log", WriteOnly)
+	f.Write([]byte("1234"))
+	f.Close()
+	a, err := fs.Open("log", Append)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Offset() != 4 {
+		t.Fatalf("append offset %d", a.Offset())
+	}
+	a.Write([]byte("56"))
+	a.Close()
+	if size, _ := fs.Size("log"); size != 6 {
+		t.Fatalf("size %d", size)
+	}
+}
+
+func TestReadAtEOF(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("e", ReadWrite)
+	n, err := f.Read(make([]byte, 8))
+	if err != nil || n != 0 {
+		t.Fatalf("EOF read = %d, %v", n, err)
+	}
+	f.Close()
+}
+
+func TestSeekVariants(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("s", ReadWrite)
+	f.Write(make([]byte, 100))
+	if pos, _ := f.Seek(10, SeekStart); pos != 10 {
+		t.Fatalf("SeekStart %d", pos)
+	}
+	if pos, _ := f.Seek(5, SeekCurrent); pos != 15 {
+		t.Fatalf("SeekCurrent %d", pos)
+	}
+	if pos, _ := f.Seek(-20, SeekEnd); pos != 80 {
+		t.Fatalf("SeekEnd %d", pos)
+	}
+	if _, err := f.Seek(-1, SeekStart); err == nil {
+		t.Fatal("negative seek accepted")
+	}
+	if _, err := f.Seek(0, 99); err == nil {
+		t.Fatal("bad whence accepted")
+	}
+	f.Close()
+}
+
+func TestSparseWriteAfterSeek(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("sparse", WriteOnly)
+	f.Seek(10, SeekStart)
+	f.Write([]byte("x"))
+	f.Close()
+	if size, _ := fs.Size("sparse"); size != 11 {
+		t.Fatalf("size %d, want 11", size)
+	}
+}
+
+func TestUseAfterClose(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("c", ReadWrite)
+	f.Close()
+	if _, err := f.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after close")
+	}
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("write after close")
+	}
+	if err := f.Close(); err == nil {
+		t.Fatal("double close")
+	}
+	if err := f.Sync(); err == nil {
+		t.Fatal("sync after close")
+	}
+}
+
+func TestOpenHandlesTracking(t *testing.T) {
+	fs := New()
+	a, _ := fs.Open("a", ReadWrite)
+	b, _ := fs.Open("b", ReadWrite)
+	if got := fs.OpenHandles(); len(got) != 2 {
+		t.Fatalf("open handles %v", got)
+	}
+	a.Close()
+	if got := fs.OpenHandles(); len(got) != 1 || got[0] != b.Handle() {
+		t.Fatalf("open handles %v", got)
+	}
+	b.Close()
+}
+
+func TestPathsSorted(t *testing.T) {
+	fs := New()
+	for _, p := range []string{"b", "a", "c"} {
+		f, _ := fs.Open(p, WriteOnly)
+		f.Close()
+	}
+	got := fs.Paths()
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Fatalf("paths %v", got)
+	}
+}
+
+func TestSetNameAndReset(t *testing.T) {
+	fs := New()
+	fs.SetName("run1", "A")
+	f, _ := fs.Open("x", WriteOnly)
+	f.Write([]byte("1"))
+	f.Close()
+	tr := fs.Trace()
+	if tr.Name != "run1" || tr.Label != "A" || tr.Len() != 3 {
+		t.Fatalf("trace %+v", tr)
+	}
+	fs.Reset()
+	if fs.Trace().Len() != 0 {
+		t.Fatal("reset did not clear ops")
+	}
+	// Contents survive the reset.
+	if _, err := fs.Open("x", ReadOnly); err != nil {
+		t.Fatal("file lost on reset")
+	}
+}
+
+func TestTraceIsCopy(t *testing.T) {
+	fs := New()
+	f, _ := fs.Open("x", WriteOnly)
+	tr := fs.Trace()
+	f.Write([]byte("1"))
+	if tr.Len() != 1 {
+		t.Fatal("Trace returned a live view")
+	}
+	f.Close()
+}
+
+// TestCapturedWorkloadThroughPipeline is the integration the package
+// exists for: run a small checkpoint-style workload, capture its trace,
+// and push it through the paper's conversion.
+func TestCapturedWorkloadThroughPipeline(t *testing.T) {
+	fs := New()
+	fs.SetName("capture-demo", "A")
+	for file := 0; file < 2; file++ {
+		f, err := fs.Open(fmt.Sprintf("chk%04d", file), WriteOnly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			f.Write(make([]byte, 96))
+		}
+		for i := 0; i < 50; i++ {
+			f.Write(make([]byte, 32768))
+		}
+		f.Close()
+	}
+	tr := fs.Trace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := core.Convert(tr, core.Options{})
+	text := s.Format()
+	if !strings.Contains(text, "write[96]:3") || !strings.Contains(text, "write[32768]:50") {
+		t.Fatalf("captured pattern did not compress as expected: %q", text)
+	}
+}
+
+func TestSize(t *testing.T) {
+	fs := New()
+	if _, err := fs.Size("missing"); err == nil {
+		t.Fatal("missing file stat accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package iogen
+
+import (
+	"fmt"
+
+	"iokast/internal/trace"
+	"iokast/internal/xrand"
+)
+
+// Dataset is a labelled collection of traces.
+type Dataset struct {
+	Traces []*trace.Trace
+	Labels []string // ground-truth category per trace ("A".."D")
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Traces) }
+
+// CountLabel returns how many examples carry the label.
+func (d *Dataset) CountLabel(label string) int {
+	n := 0
+	for _, l := range d.Labels {
+		if l == label {
+			n++
+		}
+	}
+	return n
+}
+
+// Options configure dataset generation. The zero value is not useful; use
+// PaperOptions for the paper's configuration.
+type Options struct {
+	Seed uint64
+	// Bases is the number of base examples per category.
+	Bases map[Category]int
+	// CopiesPerBase is the number of mutated copies added per base (each
+	// base example also appears unmutated).
+	CopiesPerBase int
+	// MutationsPerCopy is how many mutations each copy receives.
+	MutationsPerCopy int
+}
+
+// PaperOptions reproduces §4.1: 22 base examples — A x10, B x4, C x4, D x4
+// — each with 4 mutated copies, giving 110 examples distributed A:50, B:20,
+// C:20, D:20.
+func PaperOptions(seed uint64) Options {
+	return Options{
+		Seed: seed,
+		Bases: map[Category]int{
+			CatFlash:        10,
+			CatRandomPOSIX:  4,
+			CatNormal:       4,
+			CatRandomAccess: 4,
+		},
+		CopiesPerBase:    4,
+		MutationsPerCopy: 3,
+	}
+}
+
+// Build generates the dataset deterministically from opt.Seed.
+func Build(opt Options) (*Dataset, error) {
+	root := xrand.New(opt.Seed)
+	ds := &Dataset{}
+	for _, cat := range Categories {
+		bases := opt.Bases[cat]
+		catRand := root.Split()
+		for b := 0; b < bases; b++ {
+			baseRand := catRand.Split()
+			base, err := Generate(cat, baseRand)
+			if err != nil {
+				return nil, err
+			}
+			base.Name = fmt.Sprintf("%s%02d", cat, b)
+			ds.add(base)
+			for c := 1; c <= opt.CopiesPerBase; c++ {
+				m := Mutate(base, baseRand, opt.MutationsPerCopy)
+				m.Name = fmt.Sprintf("%s%02d.m%d", cat, b, c)
+				ds.add(m)
+			}
+		}
+	}
+	return ds, nil
+}
+
+func (d *Dataset) add(t *trace.Trace) {
+	d.Traces = append(d.Traces, t)
+	d.Labels = append(d.Labels, t.Label)
+}

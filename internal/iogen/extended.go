@@ -1,0 +1,109 @@
+package iogen
+
+import (
+	"fmt"
+
+	"iokast/internal/trace"
+	"iokast/internal/xrand"
+)
+
+// Extension categories beyond the paper's four. They exercise compression
+// rules the paper dataset touches only lightly (rule 3's tacit-copy merge,
+// rule 4 with fsync) and power the generalisation experiment X1: the
+// pipeline should keep separating categories as new pattern families
+// appear, without retuning.
+const (
+	// CatCollective simulates two-phase collective I/O: aggregator
+	// processes alternate stripe-sized reads and writes while shuffling
+	// data, which compresses into read+write "tacit copy" tokens at a
+	// stripe size no other category uses.
+	CatCollective Category = "E"
+	// CatLogAppend simulates a log appender: long runs of small writes,
+	// each batch sealed with an fsync, compressing into write+fsync
+	// tokens.
+	CatLogAppend Category = "F"
+)
+
+// ExtendedCategories lists the paper's categories plus the extensions.
+var ExtendedCategories = append(append([]Category{}, Categories...), CatCollective, CatLogAppend)
+
+// Extension byte sizes (disjoint from every paper category).
+const (
+	collectiveStripeBytes = 1048576
+	logRecordBytes        = 256
+)
+
+// genCollective builds a category E trace.
+func genCollective(r *xrand.Rand) *trace.Trace {
+	t := &trace.Trace{Label: string(CatCollective)}
+	const files = 2 // shared input and output files
+	for fh := 1; fh <= files; fh++ {
+		t.Append(trace.Op{Name: "open", Handle: fh, Path: fmt.Sprintf("collective_%d.dat", fh)})
+		pairs := r.IntRange(60, 140)
+		for i := 0; i < pairs; i++ {
+			t.Append(trace.Op{Name: "read", Handle: fh, Bytes: collectiveStripeBytes})
+			t.Append(trace.Op{Name: "write", Handle: fh, Bytes: collectiveStripeBytes})
+		}
+		t.Append(trace.Op{Name: "close", Handle: fh})
+	}
+	return t
+}
+
+// genLogAppend builds a category F trace.
+func genLogAppend(r *xrand.Rand) *trace.Trace {
+	t := &trace.Trace{Label: string(CatLogAppend)}
+	t.Append(trace.Op{Name: "open", Handle: 1, Path: "app.log"})
+	batches := r.IntRange(40, 90)
+	for b := 0; b < batches; b++ {
+		t.Append(trace.Op{Name: "write", Handle: 1, Bytes: logRecordBytes})
+		t.Append(trace.Op{Name: "fsync", Handle: 1})
+	}
+	t.Append(trace.Op{Name: "close", Handle: 1})
+	return t
+}
+
+// GenerateExtended builds one synthetic trace of any category, including
+// the extensions.
+func GenerateExtended(cat Category, r *xrand.Rand) (*trace.Trace, error) {
+	switch cat {
+	case CatCollective:
+		return genCollective(r), nil
+	case CatLogAppend:
+		return genLogAppend(r), nil
+	}
+	return Generate(cat, r)
+}
+
+// ExtendedOptions is the 6-category dataset: the paper's 110 examples plus
+// 20 of each extension category (4 bases x 5), 150 in total.
+func ExtendedOptions(seed uint64) Options {
+	opt := PaperOptions(seed)
+	opt.Bases[CatCollective] = 4
+	opt.Bases[CatLogAppend] = 4
+	return opt
+}
+
+// BuildExtended generates a dataset that may include extension categories.
+func BuildExtended(opt Options) (*Dataset, error) {
+	root := xrand.New(opt.Seed)
+	ds := &Dataset{}
+	for _, cat := range ExtendedCategories {
+		bases := opt.Bases[cat]
+		catRand := root.Split()
+		for b := 0; b < bases; b++ {
+			baseRand := catRand.Split()
+			base, err := GenerateExtended(cat, baseRand)
+			if err != nil {
+				return nil, err
+			}
+			base.Name = fmt.Sprintf("%s%02d", cat, b)
+			ds.add(base)
+			for c := 1; c <= opt.CopiesPerBase; c++ {
+				m := Mutate(base, baseRand, opt.MutationsPerCopy)
+				m.Name = fmt.Sprintf("%s%02d.m%d", cat, b, c)
+				ds.add(m)
+			}
+		}
+	}
+	return ds, nil
+}

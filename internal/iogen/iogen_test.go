@@ -1,0 +1,331 @@
+package iogen
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/core"
+	"iokast/internal/trace"
+	"iokast/internal/xrand"
+)
+
+func TestGenerateUnknownCategory(t *testing.T) {
+	if _, err := Generate(Category("Z"), xrand.New(1)); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, cat := range Categories {
+		a, err := Generate(cat, xrand.New(42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := Generate(cat, xrand.New(42))
+		if trace.FormatString(a) != trace.FormatString(b) {
+			t.Fatalf("%s: same seed produced different traces", cat)
+		}
+		c, _ := Generate(cat, xrand.New(43))
+		if trace.FormatString(a) == trace.FormatString(c) {
+			t.Fatalf("%s: different seeds produced identical traces", cat)
+		}
+	}
+}
+
+func TestGeneratedTracesAreValid(t *testing.T) {
+	r := xrand.New(7)
+	for _, cat := range Categories {
+		for i := 0; i < 5; i++ {
+			tr, err := Generate(cat, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("%s: %v", cat, err)
+			}
+			if tr.Label != string(cat) {
+				t.Fatalf("%s: label %q", cat, tr.Label)
+			}
+			if tr.Len() < 10 {
+				t.Fatalf("%s: suspiciously short trace (%d ops)", cat, tr.Len())
+			}
+		}
+	}
+}
+
+// Category A must contain contiguous writes with several distinct byte
+// values not present in other categories (§4.2).
+func TestFlashStructuralProperties(t *testing.T) {
+	tr, err := Generate(CatFlash, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CountByName("read") != 0 || tr.CountByName("lseek") != 0 {
+		t.Fatal("Flash trace must be write-only")
+	}
+	bytes := map[int64]bool{}
+	for _, op := range tr.Ops {
+		if op.Name == "write" {
+			bytes[op.Bytes] = true
+		}
+	}
+	if len(bytes) < 3 {
+		t.Fatalf("Flash writes use only %d distinct byte values", len(bytes))
+	}
+	for b := range bytes {
+		switch b {
+		case seqHeaderBytes, seqDataBytes:
+			t.Fatalf("Flash byte value %d collides with another category", b)
+		}
+	}
+}
+
+// Category B must be the only one containing lseek (§4.2).
+func TestOnlyRandomPOSIXHasLseek(t *testing.T) {
+	r := xrand.New(2)
+	for _, cat := range Categories {
+		tr, _ := Generate(cat, r)
+		has := tr.CountByName("lseek") > 0
+		if cat == CatRandomPOSIX && !has {
+			t.Fatal("B lacks lseek")
+		}
+		if cat != CatRandomPOSIX && has {
+			t.Fatalf("%s contains lseek", cat)
+		}
+	}
+}
+
+// C and D must share operation names and byte values (the reason they
+// cluster together), while A's byte set is disjoint from both.
+func TestCAndDShareVocabulary(t *testing.T) {
+	r := xrand.New(3)
+	c, _ := Generate(CatNormal, r)
+	d, _ := Generate(CatRandomAccess, r)
+	vocab := func(tr *trace.Trace) map[string]bool {
+		v := map[string]bool{}
+		for _, op := range tr.Ops {
+			if !op.IsOpen() && !op.IsClose() {
+				v[op.Name+string(rune(op.Bytes))] = true
+			}
+		}
+		return v
+	}
+	vc, vd := vocab(c), vocab(d)
+	for k := range vc {
+		if !vd[k] {
+			t.Fatalf("C token %q missing from D", k)
+		}
+	}
+	for k := range vd {
+		if !vc[k] {
+			t.Fatalf("D token %q missing from C", k)
+		}
+	}
+}
+
+// A's repetition counts must dwarf C/D's — the burstiness that separates A
+// at high cut weights in the no-byte experiment (E6).
+func TestFlashBurstiness(t *testing.T) {
+	r := xrand.New(4)
+	a, _ := Generate(CatFlash, r)
+	c, _ := Generate(CatNormal, r)
+	if a.Len() < 3*c.Len() {
+		t.Fatalf("A has %d ops, C has %d; A must be much burstier", a.Len(), c.Len())
+	}
+}
+
+func TestMutatePreservesValidity(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := xrand.New(seed)
+		cat := Categories[int(nRaw)%len(Categories)]
+		tr, err := Generate(cat, r)
+		if err != nil {
+			return false
+		}
+		m := Mutate(tr, r, 1+int(nRaw%5))
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateDoesNotTouchOriginal(t *testing.T) {
+	r := xrand.New(5)
+	tr, _ := Generate(CatNormal, r)
+	before := trace.FormatString(tr)
+	Mutate(tr, r, 5)
+	if trace.FormatString(tr) != before {
+		t.Fatal("Mutate modified its input")
+	}
+}
+
+func TestMutateChangesTrace(t *testing.T) {
+	r := xrand.New(6)
+	tr, _ := Generate(CatNormal, r)
+	m := Mutate(tr, r, 3)
+	if trace.FormatString(m) == trace.FormatString(tr) {
+		t.Fatal("3 mutations left the trace identical")
+	}
+}
+
+// opHistogramDistance is the L1 distance between per-(name,bytes) operation
+// counts of two traces.
+func opHistogramDistance(a, b *trace.Trace) int {
+	count := func(t *trace.Trace) map[string]int {
+		m := map[string]int{}
+		for _, op := range t.Ops {
+			m[op.Name+"/"+string(rune(op.Bytes))]++
+		}
+		return m
+	}
+	ca, cb := count(a), count(b)
+	keys := map[string]bool{}
+	for k := range ca {
+		keys[k] = true
+	}
+	for k := range cb {
+		keys[k] = true
+	}
+	d := 0
+	for k := range keys {
+		diff := ca[k] - cb[k]
+		if diff < 0 {
+			diff = -diff
+		}
+		d += diff
+	}
+	return d
+}
+
+// A mutated copy must stay closer to its base than a fresh example of the
+// same category — the paper's stated goal for the synthetic copies.
+// (Closeness is measured on the traces themselves: the Kast kernel
+// multiplies feature weights rather than comparing them, so kernel
+// similarity saturates within a structurally uniform category.)
+func TestMutantCloserThanSibling(t *testing.T) {
+	r := xrand.New(8)
+	for trial := 0; trial < 10; trial++ {
+		base, _ := Generate(CatNormal, r)
+		mutant := Mutate(base, r, 3)
+		other, _ := Generate(CatNormal, r)
+		dm := opHistogramDistance(base, mutant)
+		do := opHistogramDistance(base, other)
+		if dm >= do {
+			t.Fatalf("trial %d: mutant distance %d not below sibling distance %d", trial, dm, do)
+		}
+	}
+}
+
+func TestBuildPaperDataset(t *testing.T) {
+	ds, err := Build(PaperOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 110 {
+		t.Fatalf("dataset size %d, want 110", ds.Len())
+	}
+	want := map[string]int{"A": 50, "B": 20, "C": 20, "D": 20}
+	for label, count := range want {
+		if got := ds.CountLabel(label); got != count {
+			t.Fatalf("label %s: %d examples, want %d", label, got, count)
+		}
+	}
+	// Names unique.
+	names := map[string]bool{}
+	for _, tr := range ds.Traces {
+		if names[tr.Name] {
+			t.Fatalf("duplicate trace name %q", tr.Name)
+		}
+		names[tr.Name] = true
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", tr.Name, err)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, err := Build(PaperOptions(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Build(PaperOptions(99))
+	for i := range a.Traces {
+		if trace.FormatString(a.Traces[i]) != trace.FormatString(b.Traces[i]) {
+			t.Fatalf("trace %d differs between identical builds", i)
+		}
+	}
+}
+
+func TestBuildCustomShape(t *testing.T) {
+	ds, err := Build(Options{
+		Seed:             3,
+		Bases:            map[Category]int{CatNormal: 2},
+		CopiesPerBase:    1,
+		MutationsPerCopy: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 4 || ds.CountLabel("C") != 4 {
+		t.Fatalf("custom dataset wrong: %d examples", ds.Len())
+	}
+}
+
+func TestGenerateExtendedCategories(t *testing.T) {
+	for _, cat := range []Category{CatCollective, CatLogAppend} {
+		tr, err := GenerateExtended(cat, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: %v", cat, err)
+		}
+		if tr.Label != string(cat) {
+			t.Fatalf("%s: label %q", cat, tr.Label)
+		}
+	}
+	// Paper categories still reachable through the extended constructor.
+	tr, err := GenerateExtended(CatFlash, xrand.New(3))
+	if err != nil || tr.Label != "A" {
+		t.Fatalf("paper category via extended: %v %v", tr, err)
+	}
+	if _, err := GenerateExtended(Category("?"), xrand.New(1)); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestCollectiveCompressesToTacitCopy(t *testing.T) {
+	tr, _ := GenerateExtended(CatCollective, xrand.New(5))
+	s := core.Convert(tr, core.Options{})
+	if !strings.Contains(s.Format(), "read+write[1048576]") {
+		t.Fatalf("collective pattern missing tacit-copy token: %q", s.Format())
+	}
+}
+
+func TestLogAppendCompressesToWriteFsync(t *testing.T) {
+	tr, _ := GenerateExtended(CatLogAppend, xrand.New(5))
+	s := core.Convert(tr, core.Options{})
+	if !strings.Contains(s.Format(), "write+fsync[256]") {
+		t.Fatalf("log pattern missing write+fsync token: %q", s.Format())
+	}
+}
+
+func TestBuildExtendedShape(t *testing.T) {
+	ds, err := BuildExtended(ExtendedOptions(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 150 {
+		t.Fatalf("extended dataset size %d, want 150", ds.Len())
+	}
+	for _, want := range []struct {
+		label string
+		count int
+	}{{"A", 50}, {"B", 20}, {"C", 20}, {"D", 20}, {"E", 20}, {"F", 20}} {
+		if got := ds.CountLabel(want.label); got != want.count {
+			t.Fatalf("label %s: %d, want %d", want.label, got, want.count)
+		}
+	}
+}

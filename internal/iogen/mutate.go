@@ -1,0 +1,95 @@
+package iogen
+
+import (
+	"iokast/internal/trace"
+	"iokast/internal/xrand"
+)
+
+// Mutate returns a synthetic copy of the trace with n small random
+// mutations, reproducing the paper's dataset construction: "Such copies
+// introduced small mutations on the pattern; the idea behind these
+// mutations was the need to create access patterns that were, in theory,
+// closer to a determined example than the rest of the category members."
+//
+// A mutation is one of:
+//   - run jitter: lengthen or shorten a run of identical operations by a
+//     few percent (the dominant, always-safe mutation);
+//   - drop: remove one non-open/close operation;
+//   - duplicate: repeat one non-open/close operation in place.
+//
+// open/close pairs are never touched, so mutated traces stay well-formed.
+func Mutate(t *trace.Trace, r *xrand.Rand, n int) *trace.Trace {
+	c := t.Clone()
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0, 1: // run jitter is twice as likely as the point mutations
+			jitterRun(c, r)
+		case 2:
+			dropOp(c, r)
+		case 3:
+			duplicateOp(c, r)
+		}
+	}
+	return c
+}
+
+// dataIndices returns the indices of mutable (non-open/close) operations.
+func dataIndices(t *trace.Trace) []int {
+	var idx []int
+	for i, op := range t.Ops {
+		if !op.IsOpen() && !op.IsClose() {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+func jitterRun(t *trace.Trace, r *xrand.Rand) {
+	idx := dataIndices(t)
+	if len(idx) == 0 {
+		return
+	}
+	i := idx[r.Intn(len(idx))]
+	op := t.Ops[i]
+	// Measure the run around i.
+	lo := i
+	for lo > 0 && t.Ops[lo-1] == op {
+		lo--
+	}
+	hi := i
+	for hi+1 < len(t.Ops) && t.Ops[hi+1] == op {
+		hi++
+	}
+	runLen := hi - lo + 1
+	// Shrink or grow by up to ~8% of the run (at least one op).
+	delta := r.IntRange(1, max(1, runLen/12))
+	if r.Bool(0.5) && runLen > delta {
+		t.Ops = append(t.Ops[:lo], t.Ops[lo+delta:]...)
+		return
+	}
+	ins := make([]trace.Op, delta)
+	for j := range ins {
+		ins[j] = op
+	}
+	tail := append(ins, t.Ops[hi+1:]...)
+	t.Ops = append(t.Ops[:hi+1], tail...)
+}
+
+func dropOp(t *trace.Trace, r *xrand.Rand) {
+	idx := dataIndices(t)
+	if len(idx) == 0 {
+		return
+	}
+	i := idx[r.Intn(len(idx))]
+	t.Ops = append(t.Ops[:i], t.Ops[i+1:]...)
+}
+
+func duplicateOp(t *trace.Trace, r *xrand.Rand) {
+	idx := dataIndices(t)
+	if len(idx) == 0 {
+		return
+	}
+	i := idx[r.Intn(len(idx))]
+	op := t.Ops[i]
+	t.Ops = append(t.Ops[:i+1], append([]trace.Op{op}, t.Ops[i+1:]...)...)
+}

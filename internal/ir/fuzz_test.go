@@ -1,0 +1,25 @@
+package ir
+
+import "testing"
+
+// FuzzParse checks the mini-IR parser never panics and that accepted
+// modules always convert to valid trees and weighted strings.
+func FuzzParse(f *testing.F) {
+	f.Add("module m\nfunc f\nblock b\nadd 2\nret 1\n")
+	f.Add("# comment\nmodule x\n")
+	f.Add("module m\nfunc f\nblock b\nop 0\nop 0\nop 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		root := Tree(m, Options{})
+		if err := root.Validate(); err != nil {
+			t.Fatalf("invalid tree from accepted module: %v", err)
+		}
+		s := ToString(m, Options{})
+		if err := s.Validate(); err != nil {
+			t.Fatalf("invalid string from accepted module: %v", err)
+		}
+	})
+}

@@ -1,0 +1,169 @@
+// Package ir is the paper's future-work demonstration (§6: "Future efforts
+// of this project will focus on the comparison of the intermediate
+// representation delivered by the LLVM Compiler Infrastructure using the
+// string representation and kernel method here proposed").
+//
+// It defines a miniature SSA-flavoured intermediate representation —
+// modules of functions of basic blocks of instructions — plus a parser for
+// a small textual form, and converts programs into the same weighted-token
+// strings the I/O pipeline produces, so the Kast Spectrum Kernel can
+// compare programs exactly as it compares access patterns. The conversion
+// reuses the paper's tree layout: MODULE plays ROOT, FUNC plays HANDLE,
+// BLOCK stays BLOCK, and instructions are leaves whose repetition count is
+// folded by the same run-compression rule.
+package ir
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"iokast/internal/token"
+	"iokast/internal/tree"
+)
+
+// Instruction is one IR operation. Opcode examples: add, mul, load, store,
+// br, phi, ret, call. Arity is the operand count; it plays the role the
+// byte count plays for I/O operations (a secondary discriminator the
+// string representation can keep or ignore).
+type Instruction struct {
+	Opcode string
+	Arity  int
+}
+
+// Block is a labelled basic block.
+type Block struct {
+	Label string
+	Insts []Instruction
+}
+
+// Function is a named sequence of basic blocks.
+type Function struct {
+	Name   string
+	Blocks []Block
+}
+
+// Module is a compilation unit.
+type Module struct {
+	Name  string
+	Funcs []Function
+}
+
+// Parse reads the textual mini-IR form:
+//
+//	module demo
+//	func compute
+//	block entry
+//	  load 1
+//	  add 2
+//	  store 2
+//	block exit
+//	  ret 1
+//
+// Indentation is ignored; "opcode arity" lines belong to the innermost
+// block. Blank lines and '#' comments are skipped.
+func Parse(r io.Reader) (*Module, error) {
+	m := &Module{}
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "module":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ir: line %d: module needs a name", lineno)
+			}
+			m.Name = fields[1]
+		case "func":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ir: line %d: func needs a name", lineno)
+			}
+			m.Funcs = append(m.Funcs, Function{Name: fields[1]})
+		case "block":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("ir: line %d: block needs a label", lineno)
+			}
+			if len(m.Funcs) == 0 {
+				return nil, fmt.Errorf("ir: line %d: block outside func", lineno)
+			}
+			f := &m.Funcs[len(m.Funcs)-1]
+			f.Blocks = append(f.Blocks, Block{Label: fields[1]})
+		default:
+			if len(m.Funcs) == 0 || len(m.Funcs[len(m.Funcs)-1].Blocks) == 0 {
+				return nil, fmt.Errorf("ir: line %d: instruction outside block", lineno)
+			}
+			inst := Instruction{Opcode: fields[0]}
+			if len(fields) > 2 {
+				return nil, fmt.Errorf("ir: line %d: instruction is 'opcode [arity]'", lineno)
+			}
+			if len(fields) == 2 {
+				if _, err := fmt.Sscanf(fields[1], "%d", &inst.Arity); err != nil {
+					return nil, fmt.Errorf("ir: line %d: bad arity %q", lineno, fields[1])
+				}
+				if inst.Arity < 0 {
+					return nil, fmt.Errorf("ir: line %d: negative arity", lineno)
+				}
+			}
+			f := &m.Funcs[len(m.Funcs)-1]
+			b := &f.Blocks[len(f.Blocks)-1]
+			b.Insts = append(b.Insts, inst)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ir: read: %w", err)
+	}
+	return m, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Module, error) { return Parse(strings.NewReader(s)) }
+
+// Options configure the module-to-string conversion.
+type Options struct {
+	// IgnoreArity zeroes operand counts, the analogue of the byte-free
+	// string variant.
+	IgnoreArity bool
+	// Compress overrides the compression configuration (zero Passes means
+	// the paper default).
+	Compress tree.CompressOptions
+}
+
+// Tree converts the module into a pattern tree: MODULE/FUNC/BLOCK levels
+// map onto the paper's ROOT/HANDLE/BLOCK levels and instructions become
+// leaves ("the proposed string representation is independent from the
+// domain").
+func Tree(m *Module, opt Options) *tree.Node {
+	root := tree.NewInterior(tree.Root)
+	for _, f := range m.Funcs {
+		fn := tree.NewInterior(tree.Handle)
+		for _, blk := range f.Blocks {
+			bn := tree.NewInterior(tree.Block)
+			for _, inst := range blk.Insts {
+				arity := int64(inst.Arity)
+				if opt.IgnoreArity {
+					arity = 0
+				}
+				bn.Children = append(bn.Children, tree.NewOp(inst.Opcode, arity))
+			}
+			fn.Children = append(fn.Children, bn)
+		}
+		root.Children = append(root.Children, fn)
+	}
+	passes := opt.Compress
+	if passes.Passes == 0 {
+		passes = tree.DefaultCompress()
+	}
+	tree.Compress(root, passes)
+	return root
+}
+
+// ToString converts the module to its weighted string.
+func ToString(m *Module, opt Options) token.String {
+	return token.FromTree(Tree(m, opt))
+}

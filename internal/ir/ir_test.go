@@ -1,0 +1,132 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+)
+
+const loopProgram = `
+module demo
+func sum
+block entry
+  load 1
+  add 2
+  add 2
+  add 2
+  store 2
+block exit
+  ret 1
+`
+
+func TestParseBasic(t *testing.T) {
+	m, err := ParseString(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "demo" || len(m.Funcs) != 1 {
+		t.Fatalf("module: %+v", m)
+	}
+	f := m.Funcs[0]
+	if f.Name != "sum" || len(f.Blocks) != 2 {
+		t.Fatalf("func: %+v", f)
+	}
+	if len(f.Blocks[0].Insts) != 5 || f.Blocks[0].Insts[1].Opcode != "add" || f.Blocks[0].Insts[1].Arity != 2 {
+		t.Fatalf("insts: %+v", f.Blocks[0].Insts)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"module",                             // missing name
+		"func",                               // missing name
+		"block entry",                        // block outside func
+		"add 2",                              // instruction outside block
+		"module m\nfunc f\nadd 1",            // instruction outside block
+		"module m\nfunc f\nblock b\nadd x",   // bad arity
+		"module m\nfunc f\nblock b\nadd 1 2", // too many fields
+		"module m\nfunc f\nblock b\nadd -1",  // negative arity
+	}
+	for _, in := range cases {
+		if _, err := ParseString(in); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestParseSkipsComments(t *testing.T) {
+	m, err := ParseString("# hi\nmodule m\n\nfunc f\nblock b\nret 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs[0].Blocks[0].Insts) != 1 {
+		t.Fatal("comment handling broke parsing")
+	}
+}
+
+func TestToStringCompressesRuns(t *testing.T) {
+	m, err := ParseString(loopProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ToString(m, Options{})
+	text := s.Format()
+	if !strings.Contains(text, "add[2]:3") {
+		t.Fatalf("run not compressed: %q", text)
+	}
+	if !strings.Contains(text, "[ROOT]:1 [HANDLE]:1 [BLOCK]:1") {
+		t.Fatalf("structure tokens missing: %q", text)
+	}
+}
+
+func TestIgnoreArity(t *testing.T) {
+	m, _ := ParseString(loopProgram)
+	s := ToString(m, Options{IgnoreArity: true})
+	if strings.Contains(s.Format(), "[2]") {
+		t.Fatalf("arity leaked: %q", s.Format())
+	}
+}
+
+func TestTreeValid(t *testing.T) {
+	m, _ := ParseString(loopProgram)
+	if err := Tree(m, Options{}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Programs with similar structure must score higher under the Kast kernel
+// than structurally different ones — the paper's future-work hypothesis.
+func TestKastSeparatesPrograms(t *testing.T) {
+	loopA, _ := ParseString(loopProgram)
+	loopB, _ := ParseString(strings.ReplaceAll(loopProgram, "add 2\n  add 2\n  add 2", "add 2\n  add 2\n  add 2\n  add 2"))
+	branchy, _ := ParseString(`
+module other
+func dispatch
+block entry
+  cmp 2
+  br 3
+block then
+  call 4
+  br 1
+block else
+  call 4
+  ret 1
+`)
+	k := kernel.Normalized{K: &core.Kast{CutWeight: 2}}
+	opt := Options{}
+	simLoops := k.Compare(ToString(loopA, opt), ToString(loopB, opt))
+	simCross := k.Compare(ToString(loopA, opt), ToString(branchy, opt))
+	if simLoops <= simCross {
+		t.Fatalf("loop-loop similarity %v not above loop-branch %v", simLoops, simCross)
+	}
+}
+
+func TestEmptyModule(t *testing.T) {
+	m := &Module{Name: "empty"}
+	s := ToString(m, Options{})
+	if len(s) != 1 || s[0].Literal != "[ROOT]" {
+		t.Fatalf("empty module string: %v", s)
+	}
+}

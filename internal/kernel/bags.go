@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"fmt"
+
+	"iokast/internal/token"
+)
+
+// BagOfTokens is the bag-of-words kernel over weighted strings: each
+// distinct token literal is one feature, valued by total weight (WeightSum)
+// or occurrence count (Count). It equals Spectrum with K = 1 and exists as
+// its own type because the paper discusses it separately ("the bag-of-words
+// kernel searches for shared words among strings").
+type BagOfTokens struct {
+	Mode ValueMode
+}
+
+// Name implements Kernel.
+func (b *BagOfTokens) Name() string { return fmt.Sprintf("bagoftokens(%s)", b.Mode) }
+
+// Compare implements Kernel.
+func (b *BagOfTokens) Compare(a, x token.String) float64 {
+	return dotFeatures(b.features(a), b.features(x))
+}
+
+func (b *BagOfTokens) features(x token.String) map[string]float64 {
+	f := make(map[string]float64, len(x))
+	for _, t := range x {
+		switch b.Mode {
+		case Count:
+			f[t.Literal]++
+		default:
+			f[t.Literal] += float64(t.Weight)
+		}
+	}
+	return f
+}
+
+// BagOfChars is the bag-of-characters kernel: each distinct byte of the
+// token literals is a feature ("the bag-of-characters kernel only takes
+// into account single-character matching"). Weighted tokens contribute
+// their weight per contained character in WeightSum mode.
+type BagOfChars struct {
+	Mode ValueMode
+}
+
+// Name implements Kernel.
+func (b *BagOfChars) Name() string { return fmt.Sprintf("bagofchars(%s)", b.Mode) }
+
+// Compare implements Kernel.
+func (b *BagOfChars) Compare(a, x token.String) float64 {
+	return dotFeatures(b.features(a), b.features(x))
+}
+
+func (b *BagOfChars) features(x token.String) map[string]float64 {
+	f := make(map[string]float64)
+	for _, t := range x {
+		for i := 0; i < len(t.Literal); i++ {
+			key := string(t.Literal[i])
+			switch b.Mode {
+			case Count:
+				f[key]++
+			default:
+				f[key] += float64(t.Weight)
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,155 @@
+package kernel
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"iokast/internal/linalg"
+	"iokast/internal/token"
+)
+
+// Gram computes the kernel (similarity) matrix over the examples. The
+// matrix is symmetric by construction; the diagonal holds self-similarities.
+//
+// Pairs are distributed over GOMAXPROCS workers. For kernels whose value is
+// an inner product of per-string feature maps (the baselines in this
+// package), feature maps are computed once per string and reused for every
+// pair, which turns the quadratic pair loop into cheap sparse dot products.
+func Gram(k Kernel, xs []token.String) *linalg.Matrix {
+	n := len(xs)
+	g := linalg.NewMatrix(n, n)
+
+	if f, ok := k.(featurer); ok {
+		feats := make([]map[string]float64, n)
+		parallelFor(n, func(i int) { feats[i] = f.features(xs[i]) })
+		parallelFor(n, func(i int) {
+			for j := i; j < n; j++ {
+				v := dotFeatures(feats[i], feats[j])
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		})
+		return g
+	}
+
+	parallelFor(n, func(i int) {
+		for j := i; j < n; j++ {
+			v := k.Compare(xs[i], xs[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	})
+	return g
+}
+
+// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
+// The callers above are race-free: every matrix cell (i, j) and its mirror
+// (j, i) are written exactly once, by the iteration i = min(i, j), and no
+// cell is read until all iterations complete.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// NormalizeCosine rescales a Gram matrix so the diagonal becomes 1:
+// g'[i][j] = g[i][j] / sqrt(g[i][i] g[j][j]). Rows with non-positive
+// self-similarity are zeroed (their diagonal included), since no meaningful
+// normalisation exists for them.
+func NormalizeCosine(g *linalg.Matrix) *linalg.Matrix {
+	n := g.Rows
+	out := linalg.NewMatrix(n, n)
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = g.At(i, i)
+	}
+	for i := 0; i < n; i++ {
+		if d[i] <= 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if d[j] <= 0 {
+				continue
+			}
+			out.Set(i, j, g.At(i, j)/math.Sqrt(d[i]*d[j]))
+		}
+	}
+	return out
+}
+
+// PSDRepair clips negative eigenvalues to zero and rebuilds the matrix —
+// the paper's fix for indefinite similarity matrices. It returns the
+// repaired matrix and the number of clipped eigenvalues.
+func PSDRepair(g *linalg.Matrix) (*linalg.Matrix, int, error) {
+	return linalg.ClipNegativeEigenvalues(g)
+}
+
+// Center double-centres a Gram matrix in feature space:
+// K' = K - 1K - K1 + 1K1 (with 1 = (1/n) ones matrix). Kernel PCA requires
+// centred kernels.
+func Center(g *linalg.Matrix) *linalg.Matrix {
+	n := g.Rows
+	out := linalg.NewMatrix(n, n)
+	if n == 0 {
+		return out
+	}
+	rowMean := make([]float64, n)
+	var total float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += g.At(i, j)
+		}
+		rowMean[i] = s / float64(n)
+		total += s
+	}
+	grand := total / float64(n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			out.Set(i, j, g.At(i, j)-rowMean[i]-rowMean[j]+grand)
+		}
+	}
+	return out
+}
+
+// KernelDistance converts a similarity matrix into the kernel-induced
+// distance matrix d_ij = sqrt(max(0, k_ii + k_jj - 2 k_ij)). On a PSD
+// matrix this is the Euclidean distance in feature space.
+func KernelDistance(g *linalg.Matrix) *linalg.Matrix {
+	n := g.Rows
+	out := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := g.At(i, i) + g.At(j, j) - 2*g.At(i, j)
+			if v < 0 {
+				v = 0
+			}
+			out.Set(i, j, math.Sqrt(v))
+		}
+	}
+	return out
+}

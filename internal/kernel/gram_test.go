@@ -1,0 +1,247 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/linalg"
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+func randDataset(r *xrand.Rand, n int) []token.String {
+	xs := make([]token.String, n)
+	for i := range xs {
+		xs[i] = randString(r, 15)
+	}
+	return xs
+}
+
+func TestGramSymmetricAndMatchesCompare(t *testing.T) {
+	r := xrand.New(3)
+	xs := randDataset(r, 9)
+	k := &Blended{P: 3, Mode: WeightSum}
+	g := Gram(k, xs)
+	for i := 0; i < len(xs); i++ {
+		for j := 0; j < len(xs); j++ {
+			want := k.Compare(xs[i], xs[j])
+			if math.Abs(g.At(i, j)-want) > 1e-9 {
+				t.Fatalf("g[%d][%d] = %v, want %v", i, j, g.At(i, j), want)
+			}
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// nonFeaturer hides the featurer fast path so Gram's generic branch is
+// exercised too.
+type nonFeaturer struct{ k Kernel }
+
+func (n nonFeaturer) Name() string                      { return "wrapped:" + n.k.Name() }
+func (n nonFeaturer) Compare(a, b token.String) float64 { return n.k.Compare(a, b) }
+
+func TestGramGenericPathMatchesFeaturePath(t *testing.T) {
+	r := xrand.New(4)
+	xs := randDataset(r, 7)
+	k := &Spectrum{K: 2, Mode: WeightSum}
+	fast := Gram(k, xs)
+	slow := Gram(nonFeaturer{k}, xs)
+	if fast.MaxAbsDiff(slow) > 1e-9 {
+		t.Fatal("feature-cached Gram differs from generic Gram")
+	}
+}
+
+func TestGramEmpty(t *testing.T) {
+	g := Gram(&Spectrum{K: 1}, nil)
+	if g.Rows != 0 || g.Cols != 0 {
+		t.Fatal("empty Gram wrong shape")
+	}
+}
+
+// Property: Gram matrices of feature-map kernels are PSD (within tolerance).
+func TestQuickGramPSD(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		xs := randDataset(r, 6)
+		g := Gram(&Blended{P: 3, Mode: WeightSum}, xs)
+		min, err := linalg.MinEigenvalue(g)
+		if err != nil {
+			return false
+		}
+		return min > -1e-6*(1+g.FrobeniusNorm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalizeCosine(t *testing.T) {
+	g := linalg.FromRows([][]float64{
+		{4, 2, 0},
+		{2, 9, 3},
+		{0, 3, 1},
+	})
+	n := NormalizeCosine(g)
+	for i := 0; i < 3; i++ {
+		if math.Abs(n.At(i, i)-1) > 1e-12 {
+			t.Fatalf("diagonal not 1: %v", n.At(i, i))
+		}
+	}
+	if math.Abs(n.At(0, 1)-2.0/6.0) > 1e-12 {
+		t.Fatalf("n[0][1] = %v", n.At(0, 1))
+	}
+	if math.Abs(n.At(1, 2)-3.0/3.0) > 1e-12 {
+		t.Fatalf("n[1][2] = %v", n.At(1, 2))
+	}
+}
+
+func TestNormalizeCosineZeroDiagonal(t *testing.T) {
+	g := linalg.FromRows([][]float64{{0, 1}, {1, 4}})
+	n := NormalizeCosine(g)
+	if n.At(0, 0) != 0 || n.At(0, 1) != 0 || n.At(1, 0) != 0 {
+		t.Fatalf("degenerate row not zeroed:\n%v", n)
+	}
+	if n.At(1, 1) != 1 {
+		t.Fatal("healthy diagonal lost")
+	}
+}
+
+func TestPSDRepair(t *testing.T) {
+	g := linalg.FromRows([][]float64{{0, 1}, {1, 0}}) // eigenvalues +-1
+	fixed, clipped, err := PSDRepair(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped != 1 {
+		t.Fatalf("clipped = %d", clipped)
+	}
+	min, _ := linalg.MinEigenvalue(fixed)
+	if min < -1e-10 {
+		t.Fatalf("not repaired: %v", min)
+	}
+}
+
+func TestCenterRowsSumToZero(t *testing.T) {
+	r := xrand.New(8)
+	xs := randDataset(r, 8)
+	g := Gram(&Blended{P: 2, Mode: WeightSum}, xs)
+	c := Center(g)
+	for i := 0; i < c.Rows; i++ {
+		var s float64
+		for j := 0; j < c.Cols; j++ {
+			s += c.At(i, j)
+		}
+		if math.Abs(s) > 1e-6 {
+			t.Fatalf("row %d sums to %v after centring", i, s)
+		}
+	}
+	if !c.IsSymmetric(1e-9) {
+		t.Fatal("centred matrix not symmetric")
+	}
+}
+
+func TestCenterEmpty(t *testing.T) {
+	c := Center(linalg.NewMatrix(0, 0))
+	if c.Rows != 0 {
+		t.Fatal("empty centring wrong")
+	}
+}
+
+func TestKernelDistance(t *testing.T) {
+	g := linalg.FromRows([][]float64{
+		{1, 0.5},
+		{0.5, 1},
+	})
+	d := KernelDistance(g)
+	if d.At(0, 0) != 0 || d.At(1, 1) != 0 {
+		t.Fatal("self-distance nonzero")
+	}
+	want := math.Sqrt(1 + 1 - 2*0.5)
+	if math.Abs(d.At(0, 1)-want) > 1e-12 {
+		t.Fatalf("d[0][1] = %v, want %v", d.At(0, 1), want)
+	}
+	if d.At(0, 1) != d.At(1, 0) {
+		t.Fatal("distance asymmetric")
+	}
+}
+
+func TestKernelDistanceClampsNegative(t *testing.T) {
+	// Indefinite similarity can make k_ii + k_jj - 2k_ij negative; distance
+	// must clamp to 0 rather than produce NaN.
+	g := linalg.FromRows([][]float64{{0, 1}, {1, 0}})
+	d := KernelDistance(g)
+	for _, v := range d.Data {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in distance matrix")
+		}
+	}
+}
+
+// Property: kernel distance from a cosine-normalised PSD matrix satisfies
+// the triangle inequality.
+func TestQuickDistanceTriangle(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		xs := randDataset(r, 5)
+		g := Gram(&Blended{P: 3, Mode: WeightSum}, xs)
+		d := KernelDistance(NormalizeCosine(g))
+		n := d.Rows
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if d.At(i, j) > d.At(i, k)+d.At(k, j)+1e-6 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorKernels(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 4}
+	if (Linear{}).Compare(a, b) != 11 {
+		t.Fatal("linear wrong")
+	}
+	p := Polynomial{Degree: 2, C: 1}
+	if p.Compare(a, b) != 144 {
+		t.Fatalf("poly = %v", p.Compare(a, b))
+	}
+	g := Gaussian{Sigma: 1}
+	if math.Abs(g.Compare(a, a)-1) > 1e-12 {
+		t.Fatal("gaussian self != 1")
+	}
+	if g.Compare(a, b) >= 1 || g.Compare(a, b) <= 0 {
+		t.Fatal("gaussian out of (0,1)")
+	}
+}
+
+func TestVectorGram(t *testing.T) {
+	xs := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	g := VectorGram(Linear{}, xs)
+	want := linalg.FromRows([][]float64{
+		{1, 0, 1},
+		{0, 1, 1},
+		{1, 1, 2},
+	})
+	if g.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("VectorGram:\n%v", g)
+	}
+}
+
+func TestGaussianPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Gaussian{Sigma: 1}.Compare([]float64{1}, []float64{1, 2})
+}

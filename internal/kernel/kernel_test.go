@@ -1,0 +1,251 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+// ws builds a weighted string from literal/weight pairs.
+func ws(pairs ...any) token.String {
+	var s token.String
+	for i := 0; i < len(pairs); i += 2 {
+		s = append(s, token.Token{Literal: pairs[i].(string), Weight: pairs[i+1].(int)})
+	}
+	return s
+}
+
+func randString(r *xrand.Rand, maxLen int) token.String {
+	lits := []string{"a", "b", "c", "d", "read[8]", "write[8]"}
+	n := r.IntRange(0, maxLen)
+	s := make(token.String, n)
+	for i := range s {
+		s[i] = token.Token{Literal: xrand.Pick(r, lits), Weight: r.IntRange(1, 9)}
+	}
+	return s
+}
+
+func TestSpectrumExactLengthOnly(t *testing.T) {
+	// a b shared as 2-gram; 1-grams must not contribute for K=2.
+	a := ws("a", 1, "b", 1, "x", 1)
+	b := ws("a", 1, "b", 1, "y", 1)
+	k := &Spectrum{K: 2, Mode: Count}
+	// Shared 2-grams: only "a b" (x/y differ). One occurrence each: 1*1.
+	if got := k.Compare(a, b); got != 1 {
+		t.Fatalf("Compare = %v, want 1", got)
+	}
+}
+
+func TestSpectrumCountsMultipleOccurrences(t *testing.T) {
+	a := ws("a", 1, "b", 1, "a", 1, "b", 1) // "a b" x2 (plus "b a" x1)
+	b := ws("a", 1, "b", 1)                 // "a b" x1
+	k := &Spectrum{K: 2, Mode: Count}
+	if got := k.Compare(a, b); got != 2 {
+		t.Fatalf("Compare = %v, want 2", got)
+	}
+}
+
+func TestSpectrumWeightSum(t *testing.T) {
+	a := ws("a", 3, "b", 4) // occurrence weight 7
+	b := ws("a", 1, "b", 2) // occurrence weight 3
+	k := &Spectrum{K: 2, Mode: WeightSum}
+	if got := k.Compare(a, b); got != 21 {
+		t.Fatalf("Compare = %v, want 21", got)
+	}
+}
+
+func TestSpectrumCutWeightFiltersOccurrences(t *testing.T) {
+	a := ws("a", 1, "b", 1) // occurrence weight 2
+	b := ws("a", 5, "b", 5) // occurrence weight 10
+	k := &Spectrum{K: 2, Mode: WeightSum, CutWeight: 4}
+	// a's only occurrence (weight 2 < 4) is filtered: kernel 0.
+	if got := k.Compare(a, b); got != 0 {
+		t.Fatalf("Compare = %v, want 0", got)
+	}
+}
+
+func TestSpectrumDegenerateInputs(t *testing.T) {
+	k := &Spectrum{K: 3, Mode: Count}
+	if k.Compare(nil, nil) != 0 {
+		t.Fatal("nil strings must give 0")
+	}
+	if k.Compare(ws("a", 1), ws("a", 1)) != 0 {
+		t.Fatal("strings shorter than K must give 0")
+	}
+	if (&Spectrum{K: 0}).Compare(ws("a", 1), ws("a", 1)) != 0 {
+		t.Fatal("K=0 must give 0")
+	}
+}
+
+func TestBlendedIncludesAllLengths(t *testing.T) {
+	a := ws("a", 1, "b", 1)
+	b := ws("a", 1, "b", 1)
+	k := &Blended{P: 2, Mode: Count}
+	// Shared: "a" (1x1), "b" (1x1), "a b" (1x1) = 3.
+	if got := k.Compare(a, b); got != 3 {
+		t.Fatalf("Compare = %v, want 3", got)
+	}
+}
+
+func TestBlendedLambdaDecay(t *testing.T) {
+	a := ws("a", 1, "b", 1)
+	k := &Blended{P: 2, Mode: Count, Lambda: 0.5}
+	// Features of a: "a" (0.5), "b" (0.5), "a b" (0.25).
+	// Self kernel: 0.25 + 0.25 + 0.0625 = 0.5625.
+	if got := k.Compare(a, a); math.Abs(got-0.5625) > 1e-12 {
+		t.Fatalf("Compare = %v, want 0.5625", got)
+	}
+}
+
+func TestBlendedRespectsP(t *testing.T) {
+	a := ws("a", 1, "b", 1, "c", 1)
+	k1 := &Blended{P: 1, Mode: Count}
+	// Only unigrams: 3 shared singletons.
+	if got := k1.Compare(a, a); got != 3 {
+		t.Fatalf("P=1 self = %v, want 3", got)
+	}
+	k3 := &Blended{P: 3, Mode: Count}
+	// 3 unigrams + 2 bigrams + 1 trigram = 6.
+	if got := k3.Compare(a, a); got != 6 {
+		t.Fatalf("P=3 self = %v, want 6", got)
+	}
+}
+
+func TestBagOfTokens(t *testing.T) {
+	a := ws("x", 2, "y", 3, "x", 5) // x: 7, y: 3
+	b := ws("x", 1, "z", 9)         // x: 1
+	k := &BagOfTokens{Mode: WeightSum}
+	if got := k.Compare(a, b); got != 7 {
+		t.Fatalf("Compare = %v, want 7", got)
+	}
+	kc := &BagOfTokens{Mode: Count}
+	if got := kc.Compare(a, b); got != 2 { // x count 2 * 1
+		t.Fatalf("count Compare = %v, want 2", got)
+	}
+}
+
+func TestBagOfTokensEqualsSpectrum1(t *testing.T) {
+	r := xrand.New(5)
+	for trial := 0; trial < 50; trial++ {
+		a, b := randString(r, 12), randString(r, 12)
+		bt := (&BagOfTokens{Mode: WeightSum}).Compare(a, b)
+		sp := (&Spectrum{K: 1, Mode: WeightSum}).Compare(a, b)
+		if math.Abs(bt-sp) > 1e-9 {
+			t.Fatalf("bagoftokens %v != spectrum(1) %v", bt, sp)
+		}
+	}
+}
+
+func TestBagOfChars(t *testing.T) {
+	a := ws("ab", 1)
+	b := ws("bc", 1)
+	k := &BagOfChars{Mode: Count}
+	// Shared char: "b" only -> 1*1.
+	if got := k.Compare(a, b); got != 1 {
+		t.Fatalf("Compare = %v, want 1", got)
+	}
+}
+
+func TestNormalizedSelfIsOne(t *testing.T) {
+	a := ws("a", 2, "b", 3)
+	n := Normalized{K: &Blended{P: 3, Mode: WeightSum}}
+	if got := n.Compare(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("normalized self = %v", got)
+	}
+}
+
+func TestNormalizedBounds(t *testing.T) {
+	r := xrand.New(77)
+	n := Normalized{K: &Blended{P: 4, Mode: WeightSum}}
+	for trial := 0; trial < 100; trial++ {
+		a, b := randString(r, 15), randString(r, 15)
+		v := n.Compare(a, b)
+		if v < -1e-12 || v > 1+1e-12 {
+			t.Fatalf("normalized value %v out of [0,1]", v)
+		}
+	}
+}
+
+func TestNormalizedZeroSelf(t *testing.T) {
+	n := Normalized{K: &Spectrum{K: 2, Mode: Count}}
+	if got := n.Compare(ws("a", 1), ws("a", 1)); got != 0 {
+		t.Fatalf("degenerate normalized = %v, want 0", got)
+	}
+}
+
+// Property: every string kernel here is symmetric.
+func TestQuickSymmetry(t *testing.T) {
+	kernels := []Kernel{
+		&Spectrum{K: 2, Mode: WeightSum},
+		&Spectrum{K: 3, Mode: Count, CutWeight: 4},
+		&Blended{P: 4, Mode: WeightSum, CutWeight: 2},
+		&Blended{P: 3, Mode: Count, Lambda: 0.7},
+		&BagOfTokens{Mode: WeightSum},
+		&BagOfChars{Mode: Count},
+		Normalized{K: &Blended{P: 3, Mode: WeightSum}},
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		a, b := randString(r, 20), randString(r, 20)
+		for _, k := range kernels {
+			if math.Abs(k.Compare(a, b)-k.Compare(b, a)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy-Schwarz holds for feature-map kernels:
+// k(a,b)^2 <= k(a,a) k(b,b).
+func TestQuickCauchySchwarz(t *testing.T) {
+	kernels := []Kernel{
+		&Spectrum{K: 2, Mode: WeightSum},
+		&Blended{P: 4, Mode: WeightSum},
+		&BagOfTokens{Mode: Count},
+	}
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		a, b := randString(r, 20), randString(r, 20)
+		for _, k := range kernels {
+			ab := k.Compare(a, b)
+			if ab*ab > k.Compare(a, a)*k.Compare(b, b)+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelNames(t *testing.T) {
+	named := []Kernel{
+		&Spectrum{K: 2}, &Blended{P: 3}, &BagOfTokens{}, &BagOfChars{},
+		Normalized{K: &Spectrum{K: 1}},
+	}
+	seen := map[string]bool{}
+	for _, k := range named {
+		n := k.Name()
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestValueModeString(t *testing.T) {
+	if WeightSum.String() != "weightsum" || Count.String() != "count" {
+		t.Fatal("mode names wrong")
+	}
+	if ValueMode(9).String() != "unknown" {
+		t.Fatal("unknown mode name wrong")
+	}
+}

@@ -1,0 +1,152 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+// naiveSubsequence enumerates all length-p subsequences explicitly — an
+// executable specification for small inputs.
+func naiveSubsequence(a, b token.String, p int, lambda float64, weighted bool) float64 {
+	type occ struct {
+		lits   string
+		span   int
+		weight float64
+	}
+	enumerate := func(x token.String) []occ {
+		var out []occ
+		idx := make([]int, p)
+		var rec func(start, depth int)
+		rec = func(start, depth int) {
+			if depth == p {
+				lits := ""
+				weight := 1.0
+				for _, i := range idx {
+					lits += "\x1f" + x[i].Literal
+					if weighted {
+						weight *= float64(x[i].Weight)
+					}
+				}
+				out = append(out, occ{lits: lits, span: idx[p-1] - idx[0] + 1, weight: weight})
+				return
+			}
+			for i := start; i < len(x); i++ {
+				idx[depth] = i
+				rec(i+1, depth+1)
+			}
+		}
+		if len(x) >= p {
+			rec(0, 0)
+		}
+		return out
+	}
+	var sum float64
+	for _, oa := range enumerate(a) {
+		for _, ob := range enumerate(b) {
+			if oa.lits == ob.lits {
+				sum += math.Pow(lambda, float64(oa.span+ob.span)) * oa.weight * ob.weight
+			}
+		}
+	}
+	return sum
+}
+
+func TestSubsequenceKnownValue(t *testing.T) {
+	// Classic "cat"/"cart" example with p=2, lambda=l:
+	// shared 2-subsequences: c-a (spans 2,2), c-t (3,4), a-t (2,3)
+	// k = l^4 + l^7 + l^5.
+	toks := func(s string) token.String {
+		out := make(token.String, len(s))
+		for i, c := range s {
+			out[i] = token.Token{Literal: string(c), Weight: 1}
+		}
+		return out
+	}
+	lam := 0.5
+	k := &Subsequence{P: 2, Lambda: lam}
+	want := math.Pow(lam, 4) + math.Pow(lam, 7) + math.Pow(lam, 5)
+	got := k.Compare(toks("cat"), toks("cart"))
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("k(cat,cart) = %v, want %v", got, want)
+	}
+}
+
+func TestSubsequenceDegenerate(t *testing.T) {
+	k := &Subsequence{P: 3, Lambda: 0.5}
+	if k.Compare(nil, nil) != 0 {
+		t.Fatal("empty strings")
+	}
+	if k.Compare(ws("a", 1), ws("a", 1)) != 0 {
+		t.Fatal("strings shorter than P")
+	}
+	if (&Subsequence{P: 0}).Compare(ws("a", 1), ws("a", 1)) != 0 {
+		t.Fatal("P=0")
+	}
+}
+
+func TestSubsequenceDefaultLambda(t *testing.T) {
+	k := &Subsequence{P: 1}
+	if k.lambda() != 0.5 {
+		t.Fatalf("default lambda %v", k.lambda())
+	}
+	if k.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// Property: the DP agrees with explicit subsequence enumeration.
+func TestQuickSubsequenceMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		a := randString(r, 7)
+		b := randString(r, 7)
+		for _, p := range []int{1, 2, 3} {
+			for _, weighted := range []bool{false, true} {
+				k := &Subsequence{P: p, Lambda: 0.7, Weighted: weighted}
+				got := k.Compare(a, b)
+				want := naiveSubsequence(a, b, p, 0.7, weighted)
+				if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+					t.Logf("seed=%d p=%d weighted=%v got=%v want=%v\na=%s\nb=%s",
+						seed, p, weighted, got, want, a.Format(), b.Format())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: symmetry and Cauchy-Schwarz (it is a valid PSD kernel).
+func TestQuickSubsequencePSDProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		a := randString(r, 10)
+		b := randString(r, 10)
+		k := &Subsequence{P: 2, Lambda: 0.6}
+		ab, ba := k.Compare(a, b), k.Compare(b, a)
+		if math.Abs(ab-ba) > 1e-9 {
+			return false
+		}
+		return ab*ab <= k.Compare(a, a)*k.Compare(b, b)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsequenceGapPenalty(t *testing.T) {
+	// The same subsequence with a gap must score less than contiguous.
+	contiguous := ws("x", 1, "y", 1)
+	gapped := ws("x", 1, "z", 1, "y", 1)
+	k := &Subsequence{P: 2, Lambda: 0.5}
+	if k.Compare(contiguous, contiguous) <= k.Compare(contiguous, gapped) {
+		t.Fatal("gap not penalised")
+	}
+}

@@ -1,0 +1,75 @@
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"iokast/internal/linalg"
+)
+
+// VectorKernel is a kernel over real vectors. The paper's background (§2.2)
+// contrasts these "attribute-value tuple" kernels with string kernels; they
+// are implemented here both for completeness of the kernel-methods substrate
+// and to cross-check Kernel PCA against ordinary PCA in tests.
+type VectorKernel interface {
+	Name() string
+	Compare(a, b []float64) float64
+}
+
+// Linear is the plain inner-product kernel.
+type Linear struct{}
+
+// Name implements VectorKernel.
+func (Linear) Name() string { return "linear" }
+
+// Compare implements VectorKernel.
+func (Linear) Compare(a, b []float64) float64 { return linalg.Dot(a, b) }
+
+// Polynomial is (a.b + C)^Degree.
+type Polynomial struct {
+	Degree int
+	C      float64
+}
+
+// Name implements VectorKernel.
+func (p Polynomial) Name() string { return fmt.Sprintf("poly(d=%d,c=%g)", p.Degree, p.C) }
+
+// Compare implements VectorKernel.
+func (p Polynomial) Compare(a, b []float64) float64 {
+	return math.Pow(linalg.Dot(a, b)+p.C, float64(p.Degree))
+}
+
+// Gaussian is the RBF kernel exp(-||a-b||^2 / (2 sigma^2)).
+type Gaussian struct {
+	Sigma float64
+}
+
+// Name implements VectorKernel.
+func (g Gaussian) Name() string { return fmt.Sprintf("gaussian(sigma=%g)", g.Sigma) }
+
+// Compare implements VectorKernel.
+func (g Gaussian) Compare(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("kernel: Gaussian on different-length vectors")
+	}
+	var d2 float64
+	for i := range a {
+		d := a[i] - b[i]
+		d2 += d * d
+	}
+	return math.Exp(-d2 / (2 * g.Sigma * g.Sigma))
+}
+
+// VectorGram computes the Gram matrix of a vector kernel.
+func VectorGram(k VectorKernel, xs [][]float64) *linalg.Matrix {
+	n := len(xs)
+	g := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := k.Compare(xs[i], xs[j])
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}

@@ -1,0 +1,107 @@
+// Package kpca implements Kernel Principal Component Analysis (Schölkopf,
+// Smola, Müller 1997), the first of the two learning algorithms the paper
+// applies to Kast similarity matrices (§2.2, Figs. 6 and 8).
+//
+// Given a Gram matrix K over n examples, the algorithm double-centres K in
+// feature space, eigendecomposes it, and projects every example onto the
+// leading eigenvectors scaled by 1/sqrt(lambda), yielding coordinates whose
+// pairwise inner products approximate the centred kernel.
+package kpca
+
+import (
+	"fmt"
+	"math"
+
+	"iokast/internal/kernel"
+	"iokast/internal/linalg"
+)
+
+// Result holds the projection of every example onto the leading principal
+// components.
+type Result struct {
+	// Coords is n x d: row i is example i's coordinates.
+	Coords *linalg.Matrix
+	// Eigenvalues are the leading eigenvalues of the centred Gram matrix,
+	// descending (one per extracted component).
+	Eigenvalues []float64
+	// ExplainedVariance[c] is Eigenvalues[c] divided by the total of all
+	// positive eigenvalues.
+	ExplainedVariance []float64
+}
+
+// Options configure the analysis.
+type Options struct {
+	// Components is the number of principal components to extract (d).
+	Components int
+	// Center disables feature-space centring when false is wanted; the
+	// zero value (false) means "do centre", matching standard KPCA. Set
+	// SkipCentering to analyse the raw matrix.
+	SkipCentering bool
+}
+
+// minPositiveEigen is the threshold below which an eigenvalue is treated as
+// zero (its component carries no variance and cannot be normalised).
+const minPositiveEigen = 1e-10
+
+// Analyze runs Kernel PCA on a symmetric Gram matrix.
+func Analyze(gram *linalg.Matrix, opt Options) (*Result, error) {
+	if gram.Rows != gram.Cols {
+		return nil, fmt.Errorf("kpca: gram matrix is %dx%d, want square", gram.Rows, gram.Cols)
+	}
+	n := gram.Rows
+	d := opt.Components
+	if d <= 0 {
+		return nil, fmt.Errorf("kpca: components = %d, want >= 1", d)
+	}
+	if d > n {
+		d = n
+	}
+
+	k := gram
+	if !opt.SkipCentering {
+		k = kernel.Center(gram)
+	}
+	values, vectors, err := linalg.EigenSym(k)
+	if err != nil {
+		return nil, fmt.Errorf("kpca: %w", err)
+	}
+
+	var totalPositive float64
+	for _, v := range values {
+		if v > minPositiveEigen {
+			totalPositive += v
+		}
+	}
+
+	res := &Result{
+		Coords:            linalg.NewMatrix(n, d),
+		Eigenvalues:       make([]float64, d),
+		ExplainedVariance: make([]float64, d),
+	}
+	for c := 0; c < d; c++ {
+		lam := values[c]
+		res.Eigenvalues[c] = lam
+		if lam <= minPositiveEigen {
+			// Component carries no signal; leave coordinates at 0.
+			continue
+		}
+		if totalPositive > 0 {
+			res.ExplainedVariance[c] = lam / totalPositive
+		}
+		// Projection of example i onto component c: sqrt(lam) * v_i where
+		// v is the unit eigenvector — equivalently K_centered alpha with
+		// alpha = v / sqrt(lam).
+		scale := math.Sqrt(lam)
+		for i := 0; i < n; i++ {
+			res.Coords.Set(i, c, scale*vectors.At(i, c))
+		}
+	}
+	return res, nil
+}
+
+// AnalyzeVectors is a convenience wrapper: it computes the Gram matrix of a
+// vector kernel and runs KPCA on it. With kernel.Linear this reproduces
+// ordinary PCA up to sign, which the tests exploit as a cross-check.
+func AnalyzeVectors(k kernel.VectorKernel, xs [][]float64, opt Options) (*Result, error) {
+	return Analyze(kernel.VectorGram(k, xs), opt)
+}

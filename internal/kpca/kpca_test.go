@@ -1,0 +1,184 @@
+package kpca
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/kernel"
+	"iokast/internal/linalg"
+	"iokast/internal/xrand"
+)
+
+func TestAnalyzeRejectsBadInput(t *testing.T) {
+	if _, err := Analyze(linalg.NewMatrix(2, 3), Options{Components: 1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Analyze(linalg.NewMatrix(2, 2), Options{Components: 0}); err == nil {
+		t.Fatal("zero components accepted")
+	}
+}
+
+func TestComponentsClampedToN(t *testing.T) {
+	g := linalg.Identity(3)
+	res, err := Analyze(g, Options{Components: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coords.Cols != 3 {
+		t.Fatalf("cols = %d, want 3", res.Coords.Cols)
+	}
+}
+
+// Two well-separated blobs on a line must separate on the first component.
+func TestTwoClustersSeparate(t *testing.T) {
+	xs := [][]float64{
+		{0.0}, {0.1}, {-0.1},
+		{10.0}, {10.1}, {9.9},
+	}
+	res, err := AnalyzeVectors(kernel.Linear{}, xs, Options{Components: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sign := func(v float64) bool { return v > 0 }
+	a := sign(res.Coords.At(0, 0))
+	for i := 1; i < 3; i++ {
+		if sign(res.Coords.At(i, 0)) != a {
+			t.Fatalf("first blob split: %v", res.Coords)
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if sign(res.Coords.At(i, 0)) == a {
+			t.Fatalf("blobs not separated: %v", res.Coords)
+		}
+	}
+}
+
+// Linear-kernel KPCA must reproduce the pairwise distances of centred PCA:
+// the embedding is Euclidean-isometric to the centred data when all
+// components are kept.
+func TestLinearKPCAIsometry(t *testing.T) {
+	r := xrand.New(21)
+	n, dim := 7, 3
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for j := range xs[i] {
+			xs[i][j] = r.Float64()*4 - 2
+		}
+	}
+	res, err := AnalyzeVectors(kernel.Linear{}, xs, Options{Components: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for d := 0; d < dim; d++ {
+				diff := xs[i][d] - xs[j][d]
+				want += diff * diff
+			}
+			var got float64
+			for c := 0; c < res.Coords.Cols; c++ {
+				diff := res.Coords.At(i, c) - res.Coords.At(j, c)
+				got += diff * diff
+			}
+			if math.Abs(math.Sqrt(got)-math.Sqrt(want)) > 1e-6 {
+				t.Fatalf("distance (%d,%d): got %v, want %v", i, j, math.Sqrt(got), math.Sqrt(want))
+			}
+		}
+	}
+}
+
+func TestExplainedVarianceSumsToOneish(t *testing.T) {
+	r := xrand.New(5)
+	xs := make([][]float64, 6)
+	for i := range xs {
+		xs[i] = []float64{r.Float64(), r.Float64()}
+	}
+	res, err := AnalyzeVectors(kernel.Linear{}, xs, Options{Components: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.ExplainedVariance {
+		if v < 0 || v > 1+1e-12 {
+			t.Fatalf("explained variance out of range: %v", v)
+		}
+		sum += v
+	}
+	// 2D data: all variance lives in the first two components.
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("explained variance sums to %v", sum)
+	}
+	if res.ExplainedVariance[0] < res.ExplainedVariance[1] {
+		t.Fatal("components not ordered by variance")
+	}
+}
+
+func TestDegenerateIdenticalPoints(t *testing.T) {
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	res, err := AnalyzeVectors(kernel.Linear{}, xs, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After centring everything is zero: no NaNs, all coordinates 0.
+	for _, v := range res.Coords.Data {
+		if math.IsNaN(v) || math.Abs(v) > 1e-9 {
+			t.Fatalf("degenerate projection produced %v", res.Coords)
+		}
+	}
+}
+
+func TestSkipCentering(t *testing.T) {
+	g := linalg.FromRows([][]float64{{2, 0}, {0, 1}})
+	res, err := Analyze(g, Options{Components: 1, SkipCentering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uncentred: top eigenvalue is 2.
+	if math.Abs(res.Eigenvalues[0]-2) > 1e-9 {
+		t.Fatalf("eigenvalue = %v, want 2", res.Eigenvalues[0])
+	}
+}
+
+// Property: projections' inner products reproduce the centred kernel when
+// the matrix is PSD and all components are kept.
+func TestQuickProjectionReproducesCentredKernel(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		n := 5
+		a := linalg.NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()*2 - 1
+		}
+		g := a.Transpose().Mul(a) // PSD
+		res, err := Analyze(g, Options{Components: n})
+		if err != nil {
+			return false
+		}
+		c := kernel.Center(g)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(linalg.Dot(res.Coords.Row(i), res.Coords.Row(j))-c.At(i, j)) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaussianKernelKPCARuns(t *testing.T) {
+	xs := [][]float64{{0}, {0.1}, {5}, {5.1}}
+	res, err := AnalyzeVectors(kernel.Gaussian{Sigma: 1}, xs, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coords.Rows != 4 || res.Coords.Cols != 2 {
+		t.Fatalf("shape %dx%d", res.Coords.Rows, res.Coords.Cols)
+	}
+}

@@ -1,0 +1,117 @@
+package kpca
+
+import (
+	"fmt"
+
+	"iokast/internal/kernel"
+	"iokast/internal/linalg"
+	"iokast/internal/token"
+)
+
+// Model is a fitted Kernel PCA that can project new, unseen examples —
+// the standard out-of-sample extension: a new point x is mapped through
+// its kernel evaluations against the training set,
+//
+//	y_c(x) = sum_i alpha_{ic} * ktilde(x, x_i),
+//
+// where alpha are the eigenvector coefficients scaled by 1/sqrt(lambda)
+// and ktilde applies the training centring to the new kernel row.
+type Model struct {
+	Result *Result
+	// alphas is n x d: column c holds v_c / sqrt(lambda_c).
+	alphas *linalg.Matrix
+	// rowMeans[i] is the mean of the uncentred training Gram's row i;
+	// grandMean is the overall mean. Both are needed to centre new rows.
+	rowMeans  []float64
+	grandMean float64
+}
+
+// Fit runs KPCA on a training Gram matrix and retains everything needed to
+// project new examples.
+func Fit(gram *linalg.Matrix, opt Options) (*Model, error) {
+	res, err := Analyze(gram, opt)
+	if err != nil {
+		return nil, err
+	}
+	n := gram.Rows
+	m := &Model{Result: res, rowMeans: make([]float64, n)}
+	var total float64
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			s += gram.At(i, j)
+		}
+		m.rowMeans[i] = s / float64(n)
+		total += s
+	}
+	if n > 0 {
+		m.grandMean = total / float64(n*n)
+	}
+	// alphas: coords = sqrt(lam) * v  =>  alpha = v / sqrt(lam) =
+	// coords / lam.
+	d := res.Coords.Cols
+	m.alphas = linalg.NewMatrix(n, d)
+	for c := 0; c < d; c++ {
+		lam := res.Eigenvalues[c]
+		if lam <= minPositiveEigen {
+			continue
+		}
+		for i := 0; i < n; i++ {
+			m.alphas.Set(i, c, res.Coords.At(i, c)/lam)
+		}
+	}
+	return m, nil
+}
+
+// ProjectRow maps a new example onto the fitted components given its
+// kernel evaluations against the n training examples (uncentred).
+func (m *Model) ProjectRow(kx []float64) ([]float64, error) {
+	n := len(m.rowMeans)
+	if len(kx) != n {
+		return nil, fmt.Errorf("kpca: kernel row has %d entries for %d training examples", len(kx), n)
+	}
+	var rowMean float64
+	for _, v := range kx {
+		rowMean += v
+	}
+	rowMean /= float64(n)
+	d := m.alphas.Cols
+	out := make([]float64, d)
+	for i := 0; i < n; i++ {
+		centred := kx[i] - rowMean - m.rowMeans[i] + m.grandMean
+		for c := 0; c < d; c++ {
+			out[c] += m.alphas.At(i, c) * centred
+		}
+	}
+	return out, nil
+}
+
+// StringModel bundles a fitted KPCA with the kernel and training strings,
+// so weighted strings can be projected directly.
+type StringModel struct {
+	Model *Model
+	Kern  kernel.Kernel
+	Train []token.String
+}
+
+// FitStrings computes the Gram matrix of the kernel over the training
+// strings and fits a projection model on it.
+func FitStrings(k kernel.Kernel, train []token.String, opt Options) (*StringModel, error) {
+	if len(train) == 0 {
+		return nil, fmt.Errorf("kpca: empty training set")
+	}
+	m, err := Fit(kernel.Gram(k, train), opt)
+	if err != nil {
+		return nil, err
+	}
+	return &StringModel{Model: m, Kern: k, Train: train}, nil
+}
+
+// Project maps a new weighted string into the fitted component space.
+func (sm *StringModel) Project(x token.String) ([]float64, error) {
+	kx := make([]float64, len(sm.Train))
+	for i, t := range sm.Train {
+		kx[i] = sm.Kern.Compare(x, t)
+	}
+	return sm.Model.ProjectRow(kx)
+}

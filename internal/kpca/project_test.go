@@ -1,0 +1,124 @@
+package kpca
+
+import (
+	"math"
+	"testing"
+
+	"iokast/internal/kernel"
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+func TestProjectTrainingPointReproducesCoords(t *testing.T) {
+	r := xrand.New(31)
+	n, dim := 8, 3
+	xs := make([][]float64, n)
+	for i := range xs {
+		xs[i] = make([]float64, dim)
+		for j := range xs[i] {
+			xs[i][j] = r.Float64()*4 - 2
+		}
+	}
+	gram := kernel.VectorGram(kernel.Linear{}, xs)
+	m, err := Fit(gram, Options{Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got, err := m.ProjectRow(gram.Row(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range got {
+			if math.Abs(got[c]-m.Result.Coords.At(i, c)) > 1e-8 {
+				t.Fatalf("example %d component %d: projected %v, trained %v",
+					i, c, got[c], m.Result.Coords.At(i, c))
+			}
+		}
+	}
+}
+
+func TestProjectRowValidatesLength(t *testing.T) {
+	gram := kernel.VectorGram(kernel.Linear{}, [][]float64{{1}, {2}})
+	m, err := Fit(gram, Options{Components: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ProjectRow([]float64{1}); err == nil {
+		t.Fatal("wrong-length row accepted")
+	}
+}
+
+func TestProjectInterpolatesBetweenClusters(t *testing.T) {
+	// Two 1-D blobs; a midpoint must project between them on PC1.
+	xs := [][]float64{{0}, {0.2}, {10}, {10.2}}
+	gram := kernel.VectorGram(kernel.Linear{}, xs)
+	m, err := Fit(gram, Options{Components: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kx := func(v float64) []float64 {
+		row := make([]float64, len(xs))
+		for i := range xs {
+			row[i] = v * xs[i][0]
+		}
+		return row
+	}
+	left, err := m.ProjectRow(kx(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, _ := m.ProjectRow(kx(5))
+	right, _ := m.ProjectRow(kx(10.1))
+	if !(left[0] < mid[0] && mid[0] < right[0]) && !(left[0] > mid[0] && mid[0] > right[0]) {
+		t.Fatalf("midpoint did not interpolate: %v %v %v", left[0], mid[0], right[0])
+	}
+}
+
+func tokenString(lits string) token.String {
+	s := make(token.String, 0, len(lits))
+	for _, c := range lits {
+		s = append(s, token.Token{Literal: string(c), Weight: 2})
+	}
+	return s
+}
+
+func TestFitStringsAndProject(t *testing.T) {
+	train := []token.String{
+		tokenString("aaab"),
+		tokenString("aaba"),
+		tokenString("zzzy"),
+		tokenString("zzyz"),
+	}
+	sm, err := FitStrings(&kernel.Blended{P: 2, Mode: kernel.WeightSum}, train, Options{Components: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := sm.Project(tokenString("aabb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pz, err := sm.Project(tokenString("zzyy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The a-like query must land nearer the a-training pair than the
+	// z-like query does.
+	distTo := func(p []float64, idx int) float64 {
+		var d float64
+		for c := range p {
+			diff := p[c] - sm.Model.Result.Coords.At(idx, c)
+			d += diff * diff
+		}
+		return math.Sqrt(d)
+	}
+	if distTo(pa, 0) >= distTo(pz, 0) {
+		t.Fatalf("a-query (%v) not closer to a-cluster than z-query (%v)", distTo(pa, 0), distTo(pz, 0))
+	}
+}
+
+func TestFitStringsEmpty(t *testing.T) {
+	if _, err := FitStrings(&kernel.Blended{P: 2}, nil, Options{Components: 1}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}

@@ -1,0 +1,317 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/xrand"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("shape wrong: %+v", m)
+	}
+	for _, v := range m.Data {
+		if v != 0 {
+			t.Fatal("not zeroed")
+		}
+	}
+}
+
+func TestFromRowsAndAt(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("At wrong: %v", m.Data)
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Fatal("Set failed")
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	p := Identity(2).Mul(m)
+	if p.MaxAbsDiff(m) != 0 {
+		t.Fatal("I*m != m")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	b := FromRows([][]float64{{7, 8}, {9, 10}, {11, 12}})
+	got := a.Mul(b)
+	want := FromRows([][]float64{{58, 64}, {139, 154}})
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatalf("Mul:\n%v", got)
+	}
+}
+
+func TestMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if a.Add(b).MaxAbsDiff(FromRows([][]float64{{5, 5}, {5, 5}})) > 0 {
+		t.Fatal("Add wrong")
+	}
+	if a.Sub(a).FrobeniusNorm() != 0 {
+		t.Fatal("Sub wrong")
+	}
+	if a.Scale(2).At(1, 1) != 8 {
+		t.Fatal("Scale wrong")
+	}
+	// Originals untouched.
+	if a.At(0, 0) != 1 || b.At(0, 0) != 4 {
+		t.Fatal("operations mutated input")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose wrong: %v", at)
+	}
+}
+
+func TestIsSymmetric(t *testing.T) {
+	if !FromRows([][]float64{{1, 2}, {2, 1}}).IsSymmetric(0) {
+		t.Fatal("symmetric not detected")
+	}
+	if FromRows([][]float64{{1, 2}, {3, 1}}).IsSymmetric(1e-9) {
+		t.Fatal("asymmetric accepted")
+	}
+	if NewMatrix(2, 3).IsSymmetric(1) {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if Dot(a, b) != 32 {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+	v := []float64{1, 2}
+	Scale(v, 3)
+	if v[1] != 6 {
+		t.Fatal("Scale wrong")
+	}
+	y := []float64{1, 1}
+	AxPy(2, []float64{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatal("AxPy wrong")
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+	if r := Reconstruct(vals, vecs); r.MaxAbsDiff(m) > 1e-10 {
+		t.Fatalf("reconstruction error:\n%v", r)
+	}
+}
+
+func TestEigenSymKnown2x2(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, _, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 3, 1e-10) || !almostEq(vals[1], 1, 1e-10) {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestEigenSymDescendingOrder(t *testing.T) {
+	m := FromRows([][]float64{{1, 0, 0}, {0, 5, 0}, {0, 0, 3}})
+	vals, _, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(vals); i++ {
+		if vals[i] > vals[i-1] {
+			t.Fatalf("not descending: %v", vals)
+		}
+	}
+}
+
+func TestEigenSymRejectsBadInput(t *testing.T) {
+	if _, _, err := EigenSym(NewMatrix(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := EigenSym(FromRows([][]float64{{1, 5}, {-5, 1}})); err == nil {
+		t.Fatal("non-symmetric accepted")
+	}
+}
+
+func TestEigenSymEmpty(t *testing.T) {
+	vals, vecs, err := EigenSym(NewMatrix(0, 0))
+	if err != nil || len(vals) != 0 || vecs.Rows != 0 {
+		t.Fatalf("empty: %v %v %v", vals, vecs, err)
+	}
+}
+
+func randomSymmetric(r *xrand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Float64()*4 - 2
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+// Property: EigenSym reconstructs the input and produces orthonormal
+// vectors.
+func TestEigenSymQuickReconstruction(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%8) + 1
+		r := xrand.New(seed)
+		m := randomSymmetric(r, n)
+		vals, vecs, err := EigenSym(m)
+		if err != nil {
+			return false
+		}
+		if Reconstruct(vals, vecs).MaxAbsDiff(m) > 1e-8 {
+			return false
+		}
+		// V^T V == I.
+		vtv := vecs.Transpose().Mul(vecs)
+		return vtv.MaxAbsDiff(Identity(n)) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for PSD matrices (G = A^T A) all eigenvalues are >= -eps.
+func TestEigenSymQuickPSD(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 1
+		r := xrand.New(seed)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()*2 - 1
+		}
+		g := a.Transpose().Mul(a)
+		min, err := MinEigenvalue(g)
+		if err != nil {
+			return false
+		}
+		return min > -1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClipNegativeEigenvalues(t *testing.T) {
+	// Indefinite matrix: eigenvalues 1 and -1.
+	m := FromRows([][]float64{{0, 1}, {1, 0}})
+	fixed, clipped, err := ClipNegativeEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped != 1 {
+		t.Fatalf("clipped = %d, want 1", clipped)
+	}
+	min, err := MinEigenvalue(fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if min < -1e-10 {
+		t.Fatalf("still indefinite: min eig %v", min)
+	}
+	// Expected result: (m + |m|)/2 = [[0.5,0.5],[0.5,0.5]].
+	want := FromRows([][]float64{{0.5, 0.5}, {0.5, 0.5}})
+	if fixed.MaxAbsDiff(want) > 1e-10 {
+		t.Fatalf("clip result:\n%v", fixed)
+	}
+}
+
+func TestClipNoopOnPSD(t *testing.T) {
+	m := FromRows([][]float64{{2, 1}, {1, 2}})
+	fixed, clipped, err := ClipNegativeEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped != 0 {
+		t.Fatalf("clipped = %d, want 0", clipped)
+	}
+	if fixed.MaxAbsDiff(m) > 1e-12 {
+		t.Fatal("PSD matrix altered")
+	}
+}
+
+func TestMinEigenvalueEmpty(t *testing.T) {
+	if _, err := MinEigenvalue(NewMatrix(0, 0)); err == nil {
+		t.Fatal("expected error on empty matrix")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if s == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestRowIsView(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	m.Row(1)[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestEigenSymLargerSpectrum(t *testing.T) {
+	// Rank-1 matrix vv^T with v = (1,2,3): eigenvalues {14, 0, 0}.
+	v := []float64{1, 2, 3}
+	m := NewMatrix(3, 3)
+	for i := range v {
+		for j := range v {
+			m.Set(i, j, v[i]*v[j])
+		}
+	}
+	vals, _, err := EigenSym(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(vals[0], 14, 1e-9) || !almostEq(vals[1], 0, 1e-9) || !almostEq(vals[2], 0, 1e-9) {
+		t.Fatalf("vals = %v", vals)
+	}
+}

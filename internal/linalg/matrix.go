@@ -1,0 +1,220 @@
+// Package linalg provides the small dense linear-algebra kernel the project
+// needs: row-major matrices, vector helpers, and a Jacobi eigensolver for
+// symmetric matrices (used by Kernel PCA and by the positive-semidefinite
+// repair of kernel matrices). Everything is stdlib-only and sized for the
+// paper's workloads (Gram matrices of a few hundred examples).
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices, which must be equal length.
+func FromRows(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("linalg: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n x n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (shared backing array).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Transpose returns the transposed matrix.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m * o.
+func (m *Matrix) Mul(o *Matrix) *Matrix {
+	if m.Cols != o.Rows {
+		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+	out := NewMatrix(m.Rows, o.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k, mv := range mi {
+			if mv == 0 {
+				continue
+			}
+			ok := o.Row(k)
+			for j, ov := range ok {
+				oi[j] += mv * ov
+			}
+		}
+	}
+	return out
+}
+
+// Add returns m + o.
+func (m *Matrix) Add(o *Matrix) *Matrix {
+	m.sameShape(o, "Add")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] += v
+	}
+	return out
+}
+
+// Sub returns m - o.
+func (m *Matrix) Sub(o *Matrix) *Matrix {
+	m.sameShape(o, "Sub")
+	out := m.Clone()
+	for i, v := range o.Data {
+		out.Data[i] -= v
+	}
+	return out
+}
+
+// Scale returns s * m.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := m.Clone()
+	for i := range out.Data {
+		out.Data[i] *= s
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(o *Matrix, op string) {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		panic(fmt.Sprintf("linalg: %s shape mismatch %dx%d vs %dx%d", op, m.Rows, m.Cols, o.Rows, o.Cols))
+	}
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func (m *Matrix) MaxAbsDiff(o *Matrix) float64 {
+	m.sameShape(o, "MaxAbsDiff")
+	max := 0.0
+	for i, v := range m.Data {
+		if d := math.Abs(v - o.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns sqrt(sum of squared entries).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// String renders the matrix with 4 decimal places (small matrices only; for
+// debugging and golden tests).
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%8.4f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Scale scales a vector in place.
+func Scale(v []float64, s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// AxPy computes y += a*x in place.
+func AxPy(a float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("linalg: AxPy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}

@@ -1,0 +1,95 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/xrand"
+)
+
+func TestTopEigenDiagonal(t *testing.T) {
+	m := FromRows([][]float64{{5, 0, 0}, {0, 3, 0}, {0, 0, 1}})
+	vals, vecs, err := TopEigen(m, 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-5) > 1e-8 || math.Abs(vals[1]-3) > 1e-8 {
+		t.Fatalf("vals %v", vals)
+	}
+	// Eigenvector of 5 is e1 up to sign.
+	if math.Abs(math.Abs(vecs.At(0, 0))-1) > 1e-6 {
+		t.Fatalf("top vector %v", vecs)
+	}
+}
+
+func TestTopEigenValidation(t *testing.T) {
+	if _, _, err := TopEigen(NewMatrix(2, 3), 1, 0, 0); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := TopEigen(NewMatrix(2, 2), 0, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	// k clamps to n.
+	vals, _, err := TopEigen(Identity(2), 5, 0, 0)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("clamp: %v %v", vals, err)
+	}
+}
+
+// Property: on random PSD matrices, the top-k eigenvalues from power
+// iteration match the Jacobi decomposition.
+func TestQuickTopEigenMatchesJacobi(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%6) + 2
+		r := xrand.New(seed)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = r.Float64()*2 - 1
+		}
+		g := a.Transpose().Mul(a) // PSD: eigenvalues ordered by magnitude
+		wantVals, _, err := EigenSym(g)
+		if err != nil {
+			return false
+		}
+		k := 2
+		if k > n {
+			k = n
+		}
+		gotVals, vecs, err := TopEigen(g, k, 2000, 1e-14)
+		if err != nil {
+			return false
+		}
+		for c := 0; c < k; c++ {
+			if math.Abs(gotVals[c]-wantVals[c]) > 1e-5*(1+math.Abs(wantVals[c])) {
+				return false
+			}
+			// Residual check: ||Gv - lambda v|| small.
+			v := make([]float64, n)
+			for i := 0; i < n; i++ {
+				v[i] = vecs.At(i, c)
+			}
+			gv := matVec(g, v)
+			AxPy(-gotVals[c], v, gv)
+			if Norm2(gv) > 1e-4*(1+math.Abs(gotVals[c])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopEigenZeroMatrix(t *testing.T) {
+	vals, _, err := TopEigen(NewMatrix(3, 3), 2, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if v != 0 {
+			t.Fatalf("zero matrix eigenvalues %v", vals)
+		}
+	}
+}

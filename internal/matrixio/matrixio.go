@@ -1,0 +1,155 @@
+// Package matrixio serialises matrices (similarity, distance, KPCA
+// coordinates) with row/column names as CSV and JSON, so the cmd/ tools
+// can hand results to each other and to external plotting without
+// recomputing kernels.
+package matrixio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iokast/internal/linalg"
+)
+
+// Named is a matrix with optional row names (column names are the row
+// names for the square matrices this project produces; rectangular
+// matrices such as KPCA coordinates use component labels).
+type Named struct {
+	Names   []string       `json:"names,omitempty"`
+	Columns []string       `json:"columns,omitempty"`
+	Matrix  *linalg.Matrix `json:"-"`
+}
+
+// jsonNamed is the wire form; the matrix payload is row-major.
+type jsonNamed struct {
+	Names   []string    `json:"names,omitempty"`
+	Columns []string    `json:"columns,omitempty"`
+	Rows    int         `json:"rows"`
+	Cols    int         `json:"cols"`
+	Data    [][]float64 `json:"data"`
+}
+
+// WriteJSON encodes the named matrix as JSON.
+func WriteJSON(w io.Writer, n Named) error {
+	if n.Matrix == nil {
+		return fmt.Errorf("matrixio: nil matrix")
+	}
+	wire := jsonNamed{
+		Names:   n.Names,
+		Columns: n.Columns,
+		Rows:    n.Matrix.Rows,
+		Cols:    n.Matrix.Cols,
+		Data:    make([][]float64, n.Matrix.Rows),
+	}
+	for i := 0; i < n.Matrix.Rows; i++ {
+		wire.Data[i] = append([]float64(nil), n.Matrix.Row(i)...)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(wire)
+}
+
+// ReadJSON decodes a named matrix from JSON.
+func ReadJSON(r io.Reader) (Named, error) {
+	var wire jsonNamed
+	if err := json.NewDecoder(r).Decode(&wire); err != nil {
+		return Named{}, fmt.Errorf("matrixio: %w", err)
+	}
+	if wire.Rows < 0 || wire.Cols < 0 || len(wire.Data) != wire.Rows {
+		return Named{}, fmt.Errorf("matrixio: inconsistent shape %dx%d with %d rows", wire.Rows, wire.Cols, len(wire.Data))
+	}
+	m := linalg.NewMatrix(wire.Rows, wire.Cols)
+	for i, row := range wire.Data {
+		if len(row) != wire.Cols {
+			return Named{}, fmt.Errorf("matrixio: row %d has %d values, want %d", i, len(row), wire.Cols)
+		}
+		copy(m.Row(i), row)
+	}
+	if wire.Names != nil && len(wire.Names) != wire.Rows {
+		return Named{}, fmt.Errorf("matrixio: %d names for %d rows", len(wire.Names), wire.Rows)
+	}
+	return Named{Names: wire.Names, Columns: wire.Columns, Matrix: m}, nil
+}
+
+// WriteCSV encodes the named matrix as CSV with a header row. The first
+// column holds row names (or x<i> when unnamed).
+func WriteCSV(w io.Writer, n Named) error {
+	if n.Matrix == nil {
+		return fmt.Errorf("matrixio: nil matrix")
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, n.Matrix.Cols+1)
+	header[0] = "name"
+	for j := 0; j < n.Matrix.Cols; j++ {
+		header[j+1] = columnName(n, j)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("matrixio: %w", err)
+	}
+	record := make([]string, n.Matrix.Cols+1)
+	for i := 0; i < n.Matrix.Rows; i++ {
+		record[0] = rowName(n, i)
+		for j, v := range n.Matrix.Row(i) {
+			record[j+1] = strconv.FormatFloat(v, 'g', 12, 64)
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("matrixio: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a matrix written by WriteCSV.
+func ReadCSV(r io.Reader) (Named, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return Named{}, fmt.Errorf("matrixio: %w", err)
+	}
+	if len(records) < 1 {
+		return Named{}, fmt.Errorf("matrixio: empty csv")
+	}
+	header := records[0]
+	if len(header) < 1 || header[0] != "name" {
+		return Named{}, fmt.Errorf("matrixio: missing name header")
+	}
+	cols := len(header) - 1
+	rows := len(records) - 1
+	m := linalg.NewMatrix(rows, cols)
+	names := make([]string, rows)
+	for i, rec := range records[1:] {
+		if len(rec) != cols+1 {
+			return Named{}, fmt.Errorf("matrixio: row %d has %d fields, want %d", i+1, len(rec), cols+1)
+		}
+		names[i] = rec[0]
+		for j, s := range rec[1:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return Named{}, fmt.Errorf("matrixio: row %d col %d: %w", i+1, j+1, err)
+			}
+			m.Set(i, j, v)
+		}
+	}
+	return Named{Names: names, Columns: header[1:], Matrix: m}, nil
+}
+
+func rowName(n Named, i int) string {
+	if i < len(n.Names) && n.Names[i] != "" {
+		return n.Names[i]
+	}
+	return fmt.Sprintf("x%d", i)
+}
+
+func columnName(n Named, j int) string {
+	if j < len(n.Columns) && n.Columns[j] != "" {
+		return n.Columns[j]
+	}
+	// Square named matrices label columns like rows.
+	if n.Matrix.Rows == n.Matrix.Cols && j < len(n.Names) && n.Names[j] != "" {
+		return n.Names[j]
+	}
+	return fmt.Sprintf("x%d", j)
+}

@@ -1,0 +1,116 @@
+package matrixio
+
+import (
+	"strings"
+	"testing"
+
+	"iokast/internal/linalg"
+)
+
+func sample() Named {
+	return Named{
+		Names:  []string{"a", "b"},
+		Matrix: linalg.FromRows([][]float64{{1, 0.25}, {0.25, 1}}),
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix.MaxAbsDiff(sample().Matrix) != 0 {
+		t.Fatal("matrix changed in JSON round trip")
+	}
+	if len(got.Names) != 2 || got.Names[1] != "b" {
+		t.Fatalf("names %v", got.Names)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sample()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "name,a,b\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	got, err := ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix.MaxAbsDiff(sample().Matrix) > 1e-12 {
+		t.Fatal("matrix changed in CSV round trip")
+	}
+	if got.Names[0] != "a" {
+		t.Fatalf("names %v", got.Names)
+	}
+}
+
+func TestRectangularWithColumns(t *testing.T) {
+	n := Named{
+		Names:   []string{"t1", "t2", "t3"},
+		Columns: []string{"PC1", "PC2"},
+		Matrix:  linalg.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}}),
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "name,PC1,PC2\n") {
+		t.Fatalf("header: %q", sb.String())
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Matrix.Rows != 3 || got.Matrix.Cols != 2 || got.Columns[1] != "PC2" {
+		t.Fatalf("shape/names wrong: %+v", got)
+	}
+}
+
+func TestUnnamedFallback(t *testing.T) {
+	n := Named{Matrix: linalg.FromRows([][]float64{{7}})}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, n); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "x0") {
+		t.Fatalf("fallback names missing: %q", sb.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := WriteJSON(&strings.Builder{}, Named{}); err == nil {
+		t.Fatal("nil matrix accepted (json)")
+	}
+	if err := WriteCSV(&strings.Builder{}, Named{}); err == nil {
+		t.Fatal("nil matrix accepted (csv)")
+	}
+	if _, err := ReadJSON(strings.NewReader("{bogus")); err == nil {
+		t.Fatal("bad json accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"rows":2,"cols":1,"data":[[1]]}`)); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"rows":1,"cols":2,"data":[[1]]}`)); err == nil {
+		t.Fatal("col-count mismatch accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"rows":1,"cols":1,"data":[[1]],"names":["a","b"]}`)); err == nil {
+		t.Fatal("name-count mismatch accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty csv accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("wrong,a\nx,1\n")); err == nil {
+		t.Fatal("missing name header accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("name,a\nx,notanumber\n")); err == nil {
+		t.Fatal("bad float accepted")
+	}
+}

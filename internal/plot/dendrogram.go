@@ -1,0 +1,113 @@
+package plot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iokast/internal/cluster"
+)
+
+// Dendrogram renders a merge tree as indented text, leaves ordered by the
+// merge structure. For the paper-sized datasets (110 leaves) the full tree
+// is long, so RenderDendrogram offers a maximum depth after which subtrees
+// are summarised by their label composition — which is exactly what the
+// paper's dendrogram figures are read for.
+
+// RenderDendrogram renders the dendrogram; subtrees deeper than maxDepth
+// (or smaller than minSize) are summarised as one line with their size and
+// label histogram. labels may be nil.
+func RenderDendrogram(dg *cluster.Dendrogram, labels []string, maxDepth, minSize int) string {
+	n := dg.N
+	if n == 0 {
+		return "(empty dendrogram)\n"
+	}
+	type node struct {
+		merge    *cluster.Merge
+		children [2]int
+		leaf     int
+	}
+	nodes := make([]node, n+len(dg.Merges))
+	for i := 0; i < n; i++ {
+		nodes[i] = node{leaf: i, children: [2]int{-1, -1}}
+	}
+	for i := range dg.Merges {
+		m := dg.Merges[i]
+		nodes[n+i] = node{merge: &dg.Merges[i], children: [2]int{m.A, m.B}, leaf: -1}
+	}
+	root := n + len(dg.Merges) - 1
+	if len(dg.Merges) == 0 {
+		root = 0
+	}
+
+	var leavesOf func(id int) []int
+	leavesOf = func(id int) []int {
+		nd := nodes[id]
+		if nd.leaf >= 0 {
+			return []int{nd.leaf}
+		}
+		return append(leavesOf(nd.children[0]), leavesOf(nd.children[1])...)
+	}
+
+	labelOf := func(leaf int) string {
+		if labels != nil && leaf < len(labels) {
+			return labels[leaf]
+		}
+		return fmt.Sprintf("#%d", leaf)
+	}
+
+	var b strings.Builder
+	var walk func(id, depth int)
+	walk = func(id, depth int) {
+		indent := strings.Repeat("| ", depth)
+		nd := nodes[id]
+		if nd.leaf >= 0 {
+			fmt.Fprintf(&b, "%s- %s\n", indent, labelOf(nd.leaf))
+			return
+		}
+		leaves := leavesOf(id)
+		if depth >= maxDepth || len(leaves) <= minSize {
+			ls := make([]string, len(leaves))
+			for i, l := range leaves {
+				ls[i] = labelOf(l)
+			}
+			fmt.Fprintf(&b, "%s+ h=%.4f size=%d {%s}\n", indent, nd.merge.Height, len(leaves), SortedCounts(ls))
+			return
+		}
+		fmt.Fprintf(&b, "%s+ h=%.4f size=%d\n", indent, nd.merge.Height, len(leaves))
+		walk(nd.children[0], depth+1)
+		walk(nd.children[1], depth+1)
+	}
+	walk(root, 0)
+	return b.String()
+}
+
+// RenderClusterSummary prints, for a cut into k clusters, one line per
+// cluster with its size and label composition, ordered by cluster size
+// descending — a compact rendering of what the paper's dendrogram figures
+// demonstrate.
+func RenderClusterSummary(assign []int, labels []string) string {
+	groups := map[int][]string{}
+	for i, c := range assign {
+		lab := fmt.Sprintf("#%d", i)
+		if labels != nil && i < len(labels) {
+			lab = labels[i]
+		}
+		groups[c] = append(groups[c], lab)
+	}
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(groups[ids[i]]) != len(groups[ids[j]]) {
+			return len(groups[ids[i]]) > len(groups[ids[j]])
+		}
+		return ids[i] < ids[j]
+	})
+	var b strings.Builder
+	for rank, id := range ids {
+		fmt.Fprintf(&b, "cluster %d: size=%d {%s}\n", rank+1, len(groups[id]), SortedCounts(groups[id]))
+	}
+	return b.String()
+}

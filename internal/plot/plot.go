@@ -1,0 +1,235 @@
+// Package plot renders the project's evaluation artefacts as plain text:
+// scatter plots (the Kernel PCA figures), dendrograms (the hierarchical
+// clustering figures), similarity heat maps, and aligned tables. Terminal
+// output replaces the paper's graphical figures with the same information
+// content, and the deterministic renderings double as golden-test targets.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scatter renders labelled 2-D points on a width x height character grid.
+// Each point is drawn as the first byte of its label; collisions keep the
+// earlier point's glyph except that differing labels show '*'.
+type Scatter struct {
+	Width, Height int
+	Title         string
+	XLabel        string
+	YLabel        string
+}
+
+// DefaultScatter returns a scatter sized like the paper's figures.
+func DefaultScatter(title string) Scatter {
+	return Scatter{Width: 72, Height: 24, Title: title}
+}
+
+// Render draws the points. xs and ys are coordinates; labels give one
+// string per point (empty labels render as '.').
+func (s Scatter) Render(xs, ys []float64, labels []string) string {
+	w, h := s.Width, s.Height
+	if w < 8 {
+		w = 8
+	}
+	if h < 4 {
+		h = 4
+	}
+	if len(xs) != len(ys) || len(xs) != len(labels) {
+		return "plot: mismatched point slices\n"
+	}
+	var b strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&b, "%s\n", s.Title)
+	}
+	if len(xs) == 0 {
+		b.WriteString("(no points)\n")
+		return b.String()
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for i := range xs {
+		cx := int(math.Round((xs[i] - minX) / (maxX - minX) * float64(w-1)))
+		cy := int(math.Round((ys[i] - minY) / (maxY - minY) * float64(h-1)))
+		row := h - 1 - cy // y grows upward
+		glyph := byte('.')
+		if labels[i] != "" {
+			glyph = labels[i][0]
+		}
+		cur := grid[row][cx]
+		switch {
+		case cur == ' ':
+			grid[row][cx] = glyph
+		case cur != glyph:
+			grid[row][cx] = '*'
+		}
+	}
+	border := "+" + strings.Repeat("-", w) + "+"
+	fmt.Fprintln(&b, border)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s|\n", row)
+	}
+	fmt.Fprintln(&b, border)
+	fmt.Fprintf(&b, "x: [%.4g, %.4g] %s   y: [%.4g, %.4g] %s\n",
+		minX, maxX, s.XLabel, minY, maxY, s.YLabel)
+	return b.String()
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	lo, hi = v[0], v[0]
+	for _, x := range v {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Table renders rows as an aligned text table with a header.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render aligns all columns.
+func (t *Table) Render() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Heatmap renders a similarity matrix as a character grid using a ramp from
+// ' ' (minimum) to '#' (maximum), with optional row labels.
+func Heatmap(values [][]float64, rowLabels []string) string {
+	ramp := []byte(" .:-=+*#")
+	if len(values) == 0 {
+		return "(empty matrix)\n"
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range values {
+		for _, v := range row {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	for i, row := range values {
+		cells := make([]byte, len(row))
+		for j, v := range row {
+			idx := int((v - lo) / (hi - lo) * float64(len(ramp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(ramp) {
+				idx = len(ramp) - 1
+			}
+			cells[j] = ramp[idx]
+		}
+		if rowLabels != nil && i < len(rowLabels) {
+			fmt.Fprintf(&b, "%-10s |%s|\n", clip(rowLabels[i], 10), cells)
+		} else {
+			fmt.Fprintf(&b, "|%s|\n", cells)
+		}
+	}
+	fmt.Fprintf(&b, "scale: ' '=%.3g  '#'=%.3g\n", lo, hi)
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}
+
+// SortedCounts renders a label histogram like "A:50 B:20 C:20 D:20".
+func SortedCounts(labels []string) string {
+	counts := map[string]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s:%d", k, counts[k])
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,165 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"iokast/internal/cluster"
+	"iokast/internal/linalg"
+)
+
+func TestScatterBasic(t *testing.T) {
+	s := Scatter{Width: 20, Height: 8, Title: "demo", XLabel: "x", YLabel: "y"}
+	out := s.Render([]float64{0, 1}, []float64{0, 1}, []string{"A", "B"})
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Fatalf("scatter missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "x:") || !strings.Contains(out, "y:") {
+		t.Fatalf("scatter missing axes info:\n%s", out)
+	}
+}
+
+func TestScatterCollisionGlyph(t *testing.T) {
+	s := Scatter{Width: 10, Height: 4}
+	out := s.Render([]float64{0, 0}, []float64{0, 0}, []string{"A", "B"})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("collision glyph missing:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	s := DefaultScatter("t")
+	if out := s.Render(nil, nil, nil); !strings.Contains(out, "no points") {
+		t.Fatalf("empty scatter: %s", out)
+	}
+	// Identical coordinates must not divide by zero.
+	out := s.Render([]float64{1, 1}, []float64{2, 2}, []string{"A", "A"})
+	if strings.Contains(out, "NaN") {
+		t.Fatal("NaN leaked into render")
+	}
+	// Mismatched lengths are reported, not panicked on.
+	if out := s.Render([]float64{1}, []float64{1, 2}, []string{"A"}); !strings.Contains(out, "mismatched") {
+		t.Fatalf("mismatch not reported: %s", out)
+	}
+}
+
+func TestScatterEmptyLabelDot(t *testing.T) {
+	s := Scatter{Width: 10, Height: 4}
+	out := s.Render([]float64{0}, []float64{0}, []string{""})
+	if !strings.Contains(out, ".") {
+		t.Fatalf("default glyph missing:\n%s", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tbl := &Table{Header: []string{"name", "value"}}
+	tbl.Add("x", 1)
+	tbl.Add("longer", 2.5)
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Fatalf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5000") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.Add("a")
+	if strings.Contains(tbl.Render(), "---") {
+		t.Fatal("separator printed without header")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap([][]float64{{0, 1}, {1, 0}}, []string{"r1", "r2"})
+	if !strings.Contains(out, "#") || !strings.Contains(out, "r1") {
+		t.Fatalf("heatmap:\n%s", out)
+	}
+	if !strings.Contains(Heatmap(nil, nil), "empty") {
+		t.Fatal("empty heatmap not handled")
+	}
+	// Constant matrix: no division by zero.
+	if out := Heatmap([][]float64{{3, 3}}, nil); strings.Contains(out, "NaN") {
+		t.Fatal("NaN in constant heatmap")
+	}
+}
+
+func TestSortedCounts(t *testing.T) {
+	got := SortedCounts([]string{"B", "A", "A"})
+	if got != "A:2 B:1" {
+		t.Fatalf("SortedCounts = %q", got)
+	}
+	if SortedCounts(nil) != "" {
+		t.Fatal("empty counts not empty")
+	}
+}
+
+func smallDendrogram(t *testing.T) *cluster.Dendrogram {
+	t.Helper()
+	d := linalg.FromRows([][]float64{
+		{0, 1, 9, 9},
+		{1, 0, 9, 9},
+		{9, 9, 0, 2},
+		{9, 9, 2, 0},
+	})
+	dg, err := cluster.Cluster(d, cluster.Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dg
+}
+
+func TestRenderDendrogram(t *testing.T) {
+	dg := smallDendrogram(t)
+	out := RenderDendrogram(dg, []string{"A", "A", "B", "B"}, 10, 0)
+	if !strings.Contains(out, "- A") || !strings.Contains(out, "- B") {
+		t.Fatalf("leaves missing:\n%s", out)
+	}
+	if !strings.Contains(out, "h=") {
+		t.Fatalf("heights missing:\n%s", out)
+	}
+}
+
+func TestRenderDendrogramSummarises(t *testing.T) {
+	dg := smallDendrogram(t)
+	out := RenderDendrogram(dg, []string{"A", "A", "B", "B"}, 0, 0)
+	// Depth 0: the whole tree is one summary line.
+	if !strings.Contains(out, "size=4") || !strings.Contains(out, "A:2 B:2") {
+		t.Fatalf("summary wrong:\n%s", out)
+	}
+}
+
+func TestRenderDendrogramEmpty(t *testing.T) {
+	if out := RenderDendrogram(&cluster.Dendrogram{}, nil, 3, 0); !strings.Contains(out, "empty") {
+		t.Fatalf("empty dendrogram: %s", out)
+	}
+}
+
+func TestRenderDendrogramSingleLeaf(t *testing.T) {
+	dg := &cluster.Dendrogram{N: 1}
+	out := RenderDendrogram(dg, []string{"X"}, 3, 0)
+	if !strings.Contains(out, "X") {
+		t.Fatalf("single leaf: %s", out)
+	}
+}
+
+func TestRenderClusterSummary(t *testing.T) {
+	out := RenderClusterSummary([]int{0, 0, 1}, []string{"A", "A", "B"})
+	if !strings.Contains(out, "cluster 1: size=2 {A:2}") {
+		t.Fatalf("summary:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster 2: size=1 {B:1}") {
+		t.Fatalf("summary:\n%s", out)
+	}
+	// Without labels, indices are used.
+	out = RenderClusterSummary([]int{0}, nil)
+	if !strings.Contains(out, "#0") {
+		t.Fatalf("label fallback:\n%s", out)
+	}
+}

@@ -1,0 +1,31 @@
+package token
+
+import "testing"
+
+// FuzzParse checks the weighted-string parser never panics and that
+// accepted inputs survive a format/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("[ROOT]:1 [HANDLE]:1 write[8]:3")
+	f.Add("a:1")
+	f.Add("x:999999999")
+	f.Add("odd:literal:5")
+	f.Add("  spaced \t tokens:2  ")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if err := s.Validate(); err != nil {
+			// Parse may accept literals Validate rejects (e.g. colons in
+			// the literal part); those are not required to round trip.
+			return
+		}
+		again, err := Parse(s.Format())
+		if err != nil {
+			t.Fatalf("round trip failed: %v on %q", err, s.Format())
+		}
+		if !again.Equal(s) {
+			t.Fatalf("round trip changed string: %q -> %q", s.Format(), again.Format())
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the canonical parser never panics and that
+// anything it accepts survives a format/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("open fh=1\nwrite fh=1 bytes=8\nclose fh=1\n")
+	f.Add("% name=\"x\" label=\"A\"\nread fh=3 bytes=10 addr=0xff\n")
+	f.Add("# comment only\n")
+	f.Add("read fh=1 bytes=99999999999\n")
+	f.Add("open fh=0 path=\"with space\"\n")
+	f.Add("write fh=1\tbytes=2")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseString(input)
+		if err != nil {
+			return
+		}
+		text := FormatString(tr)
+		again, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("round trip failed to parse: %v\nformatted: %q", err, text)
+		}
+		if len(again.Ops) != len(tr.Ops) {
+			t.Fatalf("round trip changed op count %d -> %d", len(tr.Ops), len(again.Ops))
+		}
+		for i := range tr.Ops {
+			if again.Ops[i] != tr.Ops[i] {
+				t.Fatalf("round trip changed op %d: %+v -> %+v", i, tr.Ops[i], again.Ops[i])
+			}
+		}
+	})
+}
+
+// FuzzParseStrace checks the strace adapter never panics and always
+// produces traces the rest of the pipeline can digest.
+func FuzzParseStrace(f *testing.F) {
+	f.Add(`open("x", O_RDONLY) = 3`)
+	f.Add(`read(3, "...", 4096) = 4096`)
+	f.Add(`1234 write(5, "abc", 3) = 3`)
+	f.Add(`--- SIGCHLD ---`)
+	f.Add(`close(3) = 0`)
+	f.Add(`weird((nested(parens)), "quo\"te") = -1`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ParseStrace(strings.NewReader(input))
+		if err != nil || tr == nil {
+			return
+		}
+		for _, op := range tr.Ops {
+			if op.Name == "" {
+				t.Fatalf("strace produced unnamed op from %q", input)
+			}
+			if op.Bytes < 0 {
+				t.Fatalf("strace produced negative byte count from %q", input)
+			}
+		}
+	})
+}

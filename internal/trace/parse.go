@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Canonical text format, one operation per line:
+//
+//	# comment
+//	% name=<trace name> label=<category>     (optional header directives)
+//	open fh=1 path="out.dat"
+//	write fh=1 bytes=1024
+//	read fh=1 bytes=512 addr=0x7f001000
+//	close fh=1
+//
+// The first whitespace-separated field is the operation name; the remaining
+// fields are key=value pairs in any order. Unknown keys are rejected so that
+// format drift is caught early. Blank lines and lines starting with '#' are
+// ignored.
+
+// ParseError describes a parse failure with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("trace: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a trace in the canonical text format.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "%") {
+			if err := parseHeader(t, strings.TrimSpace(line[1:])); err != nil {
+				return nil, &ParseError{lineno, err.Error()}
+			}
+			continue
+		}
+		op, err := parseOpLine(line)
+		if err != nil {
+			return nil, &ParseError{lineno, err.Error()}
+		}
+		t.Ops = append(t.Ops, op)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Trace, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseHeader(t *Trace, rest string) error {
+	for _, f := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return fmt.Errorf("header field %q is not key=value", f)
+		}
+		switch k {
+		case "name":
+			name, err := unquote(v)
+			if err != nil {
+				return err
+			}
+			t.Name = name
+		case "label":
+			label, err := unquote(v)
+			if err != nil {
+				return err
+			}
+			t.Label = label
+		default:
+			return fmt.Errorf("unknown header key %q", k)
+		}
+	}
+	return nil
+}
+
+func parseOpLine(line string) (Op, error) {
+	fields, err := splitFields(line)
+	if err != nil {
+		return Op{}, err
+	}
+	if len(fields) == 0 {
+		return Op{}, fmt.Errorf("empty operation line")
+	}
+	op := Op{Name: fields[0]}
+	if op.Name == "" {
+		return Op{}, fmt.Errorf("missing operation name")
+	}
+	sawHandle := false
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Op{}, fmt.Errorf("field %q is not key=value", f)
+		}
+		switch k {
+		case "fh":
+			h, err := strconv.Atoi(v)
+			if err != nil {
+				return Op{}, fmt.Errorf("bad handle %q: %v", v, err)
+			}
+			op.Handle = h
+			sawHandle = true
+		case "bytes":
+			b, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Op{}, fmt.Errorf("bad byte count %q: %v", v, err)
+			}
+			if b < 0 {
+				return Op{}, fmt.Errorf("negative byte count %d", b)
+			}
+			op.Bytes = b
+		case "addr":
+			a, err := strconv.ParseUint(strings.TrimPrefix(v, "0x"), 16, 64)
+			if err != nil {
+				return Op{}, fmt.Errorf("bad address %q: %v", v, err)
+			}
+			op.Addr = a
+		case "path":
+			path, err := unquote(v)
+			if err != nil {
+				return Op{}, err
+			}
+			op.Path = path
+		default:
+			return Op{}, fmt.Errorf("unknown key %q", k)
+		}
+	}
+	if !sawHandle {
+		return Op{}, fmt.Errorf("operation %q missing fh=", op.Name)
+	}
+	return op, nil
+}
+
+// splitFields splits on whitespace but keeps quoted values (path="a b")
+// intact, honouring backslash escapes inside quotes so values produced by
+// %q round-trip.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case inQuote && c == '\\':
+			cur.WriteByte(c)
+			if i+1 < len(line) {
+				i++
+				cur.WriteByte(line[i])
+			}
+		case c == '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inQuote:
+			if cur.Len() > 0 {
+				fields = append(fields, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	if cur.Len() > 0 {
+		fields = append(fields, cur.String())
+	}
+	return fields, nil
+}
+
+// unquote decodes a quoted value. Unquoted values pass through verbatim;
+// anything that starts with '"' must be a well-formed Go quoted string in
+// its entirety (trailing garbage after the closing quote is an error, so
+// malformed inputs are rejected instead of silently mangled).
+func unquote(s string) (string, error) {
+	if len(s) == 0 || s[0] != '"' {
+		return s, nil
+	}
+	u, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("malformed quoted value %s", s)
+	}
+	return u, nil
+}
+
+// Format writes the trace in the canonical text format. Parse(Format(t))
+// round-trips exactly.
+func Format(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if t.Name != "" || t.Label != "" {
+		fmt.Fprint(bw, "%")
+		if t.Name != "" {
+			fmt.Fprintf(bw, " name=%q", t.Name)
+		}
+		if t.Label != "" {
+			fmt.Fprintf(bw, " label=%q", t.Label)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, op := range t.Ops {
+		fmt.Fprintln(bw, op.String())
+	}
+	return bw.Flush()
+}
+
+// FormatString is Format into a string.
+func FormatString(t *Trace) string {
+	var b strings.Builder
+	_ = Format(&b, t) // strings.Builder writes cannot fail
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Stats summarises an access pattern along the characterisation axes the
+// paper lists in §2.1: "access granularity, randomness, concurrency, load
+// balance, access type and predictability", plus Liu et al.'s burstiness.
+// These are diagnostic features for humans and tools; the kernel pipeline
+// itself never consumes them.
+type Stats struct {
+	Ops         int     // total operations
+	Reads       int     // read-like operation count
+	Writes      int     // write-like operation count
+	Seeks       int     // lseek count
+	Opens       int     // open count
+	BytesRead   int64   // total read volume
+	BytesWrite  int64   // total written volume
+	Granularity float64 // mean bytes per data operation
+	Randomness  float64 // seeks / data operations (0 = sequential)
+	Concurrency int     // maximum simultaneously open handles
+	LoadBalance float64 // 0..1; 1 = operations spread evenly over handles
+	ReadRatio   float64 // reads / (reads + writes)
+	Burstiness  float64 // mean run length of identical consecutive ops
+}
+
+// ComputeStats derives the summary from a trace.
+func ComputeStats(t *Trace) Stats {
+	var s Stats
+	s.Ops = t.Len()
+
+	perHandle := map[int]int{}
+	openNow := 0
+	var runLen, runCount int
+	var prev Op
+	first := true
+
+	for _, op := range t.Ops {
+		perHandle[op.Handle]++
+		switch {
+		case op.IsOpen():
+			s.Opens++
+			openNow++
+			if openNow > s.Concurrency {
+				s.Concurrency = openNow
+			}
+		case op.IsClose():
+			if openNow > 0 {
+				openNow--
+			}
+		case op.Name == "lseek":
+			s.Seeks++
+		case isReadLike(op.Name):
+			s.Reads++
+			s.BytesRead += op.Bytes
+		case isWriteLike(op.Name):
+			s.Writes++
+			s.BytesWrite += op.Bytes
+		}
+		if first || prev.Name != op.Name || prev.Bytes != op.Bytes || prev.Handle != op.Handle {
+			runCount++
+			runLen = 1
+		} else {
+			runLen++
+		}
+		_ = runLen
+		prev, first = op, false
+	}
+
+	dataOps := s.Reads + s.Writes
+	if dataOps > 0 {
+		s.Granularity = float64(s.BytesRead+s.BytesWrite) / float64(dataOps)
+		s.Randomness = float64(s.Seeks) / float64(dataOps)
+		s.ReadRatio = float64(s.Reads) / float64(dataOps)
+	}
+	if runCount > 0 {
+		s.Burstiness = float64(s.Ops) / float64(runCount)
+	}
+	s.LoadBalance = loadBalance(perHandle)
+	return s
+}
+
+// loadBalance is 1 - normalised Shannon imbalance: 1 when every handle
+// carries the same operation count, approaching 0 as one handle dominates.
+func loadBalance(perHandle map[int]int) float64 {
+	if len(perHandle) <= 1 {
+		return 1
+	}
+	total := 0
+	for _, c := range perHandle {
+		total += c
+	}
+	if total == 0 {
+		return 1
+	}
+	var entropy float64
+	for _, c := range perHandle {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		entropy -= p * math.Log(p)
+	}
+	return entropy / math.Log(float64(len(perHandle)))
+}
+
+func isReadLike(name string) bool {
+	return strings.Contains(name, "read") || name == "recv" || name == "fscanf"
+}
+
+func isWriteLike(name string) bool {
+	return strings.Contains(name, "write") || name == "send" || name == "fprintf"
+}
+
+// String renders the stats as a compact one-per-line report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ops:          %d\n", s.Ops)
+	fmt.Fprintf(&b, "reads/writes: %d/%d (read ratio %.2f)\n", s.Reads, s.Writes, s.ReadRatio)
+	fmt.Fprintf(&b, "seeks:        %d (randomness %.3f)\n", s.Seeks, s.Randomness)
+	fmt.Fprintf(&b, "volume:       %dB read, %dB written\n", s.BytesRead, s.BytesWrite)
+	fmt.Fprintf(&b, "granularity:  %.1fB/op\n", s.Granularity)
+	fmt.Fprintf(&b, "concurrency:  %d handles\n", s.Concurrency)
+	fmt.Fprintf(&b, "load balance: %.3f\n", s.LoadBalance)
+	fmt.Fprintf(&b, "burstiness:   %.2f ops/run\n", s.Burstiness)
+	return b.String()
+}
+
+// ByteHistogram counts data operations per (operation name, byte count)
+// pair, sorted by descending count then key — a quick vocabulary view of a
+// trace.
+func ByteHistogram(t *Trace) []HistogramEntry {
+	counts := map[string]*HistogramEntry{}
+	for _, op := range t.Ops {
+		if op.IsOpen() || op.IsClose() {
+			continue
+		}
+		key := fmt.Sprintf("%s[%d]", op.Name, op.Bytes)
+		e, ok := counts[key]
+		if !ok {
+			e = &HistogramEntry{Key: key}
+			counts[key] = e
+		}
+		e.Count++
+		e.Bytes += op.Bytes
+	}
+	out := make([]HistogramEntry, 0, len(counts))
+	for _, e := range counts {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// HistogramEntry is one row of ByteHistogram.
+type HistogramEntry struct {
+	Key   string // "name[bytes]"
+	Count int    // occurrences
+	Bytes int64  // total volume
+}

@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func statsTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr, err := ParseString(`
+open fh=1
+read fh=1 bytes=100
+read fh=1 bytes=100
+lseek fh=1
+write fh=1 bytes=200
+open fh=2
+write fh=2 bytes=50
+close fh=2
+close fh=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestComputeStatsCounts(t *testing.T) {
+	s := ComputeStats(statsTrace(t))
+	if s.Ops != 9 || s.Reads != 2 || s.Writes != 2 || s.Seeks != 1 || s.Opens != 2 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	if s.BytesRead != 200 || s.BytesWrite != 250 {
+		t.Fatalf("volumes wrong: %+v", s)
+	}
+}
+
+func TestComputeStatsDerived(t *testing.T) {
+	s := ComputeStats(statsTrace(t))
+	if math.Abs(s.Granularity-450.0/4.0) > 1e-9 {
+		t.Fatalf("granularity %v", s.Granularity)
+	}
+	if math.Abs(s.Randomness-0.25) > 1e-9 {
+		t.Fatalf("randomness %v", s.Randomness)
+	}
+	if math.Abs(s.ReadRatio-0.5) > 1e-9 {
+		t.Fatalf("read ratio %v", s.ReadRatio)
+	}
+	if s.Concurrency != 2 {
+		t.Fatalf("concurrency %d", s.Concurrency)
+	}
+}
+
+func TestLoadBalance(t *testing.T) {
+	balanced := &Trace{Ops: []Op{
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 2, Bytes: 1},
+	}}
+	if lb := ComputeStats(balanced).LoadBalance; math.Abs(lb-1) > 1e-9 {
+		t.Fatalf("balanced load = %v", lb)
+	}
+	skewed := &Trace{Ops: []Op{
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 1, Bytes: 1},
+		{Name: "read", Handle: 2, Bytes: 1},
+	}}
+	if lb := ComputeStats(skewed).LoadBalance; lb >= 0.99 {
+		t.Fatalf("skewed load = %v, want < 0.99", lb)
+	}
+	single := &Trace{Ops: []Op{{Name: "read", Handle: 1, Bytes: 1}}}
+	if lb := ComputeStats(single).LoadBalance; lb != 1 {
+		t.Fatalf("single-handle load = %v", lb)
+	}
+}
+
+func TestBurstiness(t *testing.T) {
+	bursty := &Trace{Ops: []Op{
+		{Name: "write", Handle: 1, Bytes: 8},
+		{Name: "write", Handle: 1, Bytes: 8},
+		{Name: "write", Handle: 1, Bytes: 8},
+		{Name: "write", Handle: 1, Bytes: 8},
+	}}
+	if b := ComputeStats(bursty).Burstiness; b != 4 {
+		t.Fatalf("burstiness %v, want 4", b)
+	}
+	alternating := &Trace{Ops: []Op{
+		{Name: "read", Handle: 1, Bytes: 8},
+		{Name: "write", Handle: 1, Bytes: 8},
+		{Name: "read", Handle: 1, Bytes: 8},
+		{Name: "write", Handle: 1, Bytes: 8},
+	}}
+	if b := ComputeStats(alternating).Burstiness; b != 1 {
+		t.Fatalf("alternating burstiness %v, want 1", b)
+	}
+}
+
+func TestStatsEmptyTrace(t *testing.T) {
+	s := ComputeStats(&Trace{})
+	if s.Ops != 0 || s.Granularity != 0 || s.LoadBalance != 1 {
+		t.Fatalf("empty stats %+v", s)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	out := ComputeStats(statsTrace(t)).String()
+	for _, want := range []string{"ops:", "granularity:", "load balance:", "burstiness:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats string lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByteHistogram(t *testing.T) {
+	h := ByteHistogram(statsTrace(t))
+	if len(h) != 4 {
+		t.Fatalf("histogram %v", h)
+	}
+	if h[0].Key != "read[100]" || h[0].Count != 2 || h[0].Bytes != 200 {
+		t.Fatalf("top entry %+v", h[0])
+	}
+	// opens/closes excluded.
+	for _, e := range h {
+		if strings.HasPrefix(e.Key, "open") || strings.HasPrefix(e.Key, "close") {
+			t.Fatalf("open/close leaked into histogram: %v", e)
+		}
+	}
+}
+
+func TestByteHistogramDeterministicOrder(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Name: "a", Handle: 1, Bytes: 1},
+		{Name: "b", Handle: 1, Bytes: 1},
+	}}
+	h := ByteHistogram(tr)
+	if h[0].Key != "a[1]" || h[1].Key != "b[1]" {
+		t.Fatalf("tie-break order %v", h)
+	}
+}

@@ -1,0 +1,236 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseStrace reads a minimal strace/ltrace-style call log and converts it
+// to a Trace. This adapter exists so that real captures can be fed to the
+// pipeline without preprocessing. The recognised shapes are:
+//
+//	open("file.dat", O_RDONLY) = 3
+//	read(3, ..., 4096) = 4096
+//	write(3, ..., 1024) = 1024
+//	lseek(3, 8192, SEEK_SET) = 8192
+//	close(3) = 0
+//
+// Rules:
+//   - The operation name is the identifier before '('.
+//   - open: the handle is the return value (after '='); the first quoted
+//     argument, if any, becomes the path.
+//   - close and other calls: the handle is the first argument.
+//   - read/write/pread/pwrite and friends: the byte count is the return
+//     value when non-negative, else the last integer argument.
+//   - Lines that do not look like calls (signals, exits, unfinished
+//     continuations) are skipped.
+func ParseStrace(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		op, ok, err := parseStraceLine(line)
+		if err != nil {
+			return nil, &ParseError{lineno, err.Error()}
+		}
+		if ok {
+			t.Ops = append(t.Ops, op)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return t, nil
+}
+
+func parseStraceLine(line string) (Op, bool, error) {
+	// Strip a leading PID column ("1234  read(...)" or "[pid 1234] ...").
+	line = strings.TrimSpace(strings.TrimPrefix(line, stripPID(line)))
+	lp := strings.IndexByte(line, '(')
+	if lp <= 0 {
+		return Op{}, false, nil // not a call line
+	}
+	name := line[:lp]
+	if !isIdent(name) {
+		return Op{}, false, nil
+	}
+	rp := matchingParen(line, lp)
+	if rp < 0 {
+		return Op{}, false, nil // unfinished call
+	}
+	argstr := line[lp+1 : rp]
+	retstr := ""
+	if eq := strings.Index(line[rp:], "="); eq >= 0 {
+		retstr = strings.TrimSpace(line[rp+eq+1:])
+		if sp := strings.IndexAny(retstr, " \t"); sp >= 0 {
+			retstr = retstr[:sp]
+		}
+	}
+	args := splitArgs(argstr)
+	op := Op{Name: name}
+	ret, retOK := parseInt(retstr)
+
+	switch name {
+	case "open", "openat", "creat", "fopen":
+		if !retOK || ret < 0 {
+			return Op{}, false, nil // failed open: no handle to track
+		}
+		op.Name = "open"
+		op.Handle = int(ret)
+		for _, a := range args {
+			if len(a) >= 2 && a[0] == '"' {
+				if p, err := unquote(a); err == nil {
+					op.Path = p
+				}
+				break
+			}
+		}
+		return op, true, nil
+	default:
+		if len(args) == 0 {
+			return Op{}, false, nil
+		}
+		h, ok := parseInt(args[0])
+		if !ok {
+			return Op{}, false, nil
+		}
+		op.Handle = int(h)
+		if isDataOp(name) {
+			switch {
+			case retOK && ret >= 0:
+				op.Bytes = ret
+			default:
+				// Fall back to the last integer argument (the count).
+				for i := len(args) - 1; i >= 1; i-- {
+					if v, ok := parseInt(args[i]); ok && v >= 0 {
+						op.Bytes = v
+						break
+					}
+				}
+			}
+		}
+		return op, true, nil
+	}
+}
+
+func stripPID(line string) string {
+	if strings.HasPrefix(line, "[pid") {
+		if i := strings.IndexByte(line, ']'); i >= 0 {
+			return line[:i+1]
+		}
+	}
+	i := 0
+	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
+		i++
+	}
+	if i > 0 && i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		return line[:i]
+	}
+	return ""
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func isDataOp(name string) bool {
+	switch name {
+	case "read", "write", "pread", "pwrite", "pread64", "pwrite64",
+		"readv", "writev", "fread", "fwrite", "recv", "send":
+		return true
+	}
+	return false
+}
+
+func matchingParen(s string, lp int) int {
+	depth := 0
+	inQuote := false
+	for i := lp; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inQuote = false
+			}
+		case c == '"':
+			inQuote = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+			if depth == 0 {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func splitArgs(s string) []string {
+	var args []string
+	var cur strings.Builder
+	depth := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote:
+			cur.WriteByte(c)
+			if c == '\\' && i+1 < len(s) {
+				i++
+				cur.WriteByte(s[i])
+			} else if c == '"' {
+				inQuote = false
+			}
+		case c == '"':
+			inQuote = true
+			cur.WriteByte(c)
+		case c == '(' || c == '[' || c == '{':
+			depth++
+			cur.WriteByte(c)
+		case c == ')' || c == ']' || c == '}':
+			depth--
+			cur.WriteByte(c)
+		case c == ',' && depth == 0:
+			args = append(args, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if t := strings.TrimSpace(cur.String()); t != "" {
+		args = append(args, t)
+	}
+	return args
+}
+
+func parseInt(s string) (int64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

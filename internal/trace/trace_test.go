@@ -1,0 +1,348 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iokast/internal/xrand"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Name:  "t1",
+		Label: "A",
+		Ops: []Op{
+			{Name: "open", Handle: 1, Path: "out.dat"},
+			{Name: "write", Handle: 1, Bytes: 1024},
+			{Name: "read", Handle: 1, Bytes: 512, Addr: 0x7f001000},
+			{Name: "close", Handle: 1},
+		},
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := sample()
+	b := a.Clone()
+	b.Ops[0].Name = "mutated"
+	b.Name = "other"
+	if a.Ops[0].Name != "open" || a.Name != "t1" {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestHandlesFirstAppearanceOrder(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Name: "open", Handle: 3},
+		{Name: "open", Handle: 1},
+		{Name: "write", Handle: 3, Bytes: 8},
+		{Name: "open", Handle: 2},
+	}}
+	got := tr.Handles()
+	want := []int{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Handles = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Handles = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOpNamesSorted(t *testing.T) {
+	tr := sample()
+	got := tr.OpNames()
+	want := []string{"close", "open", "read", "write"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("OpNames = %v, want %v", got, want)
+	}
+}
+
+func TestTotalBytesAndCount(t *testing.T) {
+	tr := sample()
+	if tr.TotalBytes() != 1536 {
+		t.Fatalf("TotalBytes = %d, want 1536", tr.TotalBytes())
+	}
+	if tr.CountByName("read") != 1 || tr.CountByName("nope") != 0 {
+		t.Fatal("CountByName wrong")
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	tr := sample()
+	z := tr.ZeroBytes()
+	if z.TotalBytes() != 0 {
+		t.Fatalf("ZeroBytes left %d bytes", z.TotalBytes())
+	}
+	if tr.TotalBytes() == 0 {
+		t.Fatal("ZeroBytes mutated the original")
+	}
+	if z.Len() != tr.Len() {
+		t.Fatal("ZeroBytes changed op count")
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsDoubleOpen(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Name: "open", Handle: 1},
+		{Name: "open", Handle: 1},
+	}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected error for double open")
+	}
+}
+
+func TestValidateRejectsStrayClose(t *testing.T) {
+	tr := &Trace{Ops: []Op{{Name: "close", Handle: 1}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected error for close without open")
+	}
+}
+
+func TestValidateRejectsNegativeHandle(t *testing.T) {
+	tr := &Trace{Ops: []Op{{Name: "read", Handle: -1}}}
+	if err := tr.Validate(); err == nil {
+		t.Fatal("expected error for negative handle")
+	}
+}
+
+func TestValidateAllowsReopen(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Name: "open", Handle: 1},
+		{Name: "close", Handle: 1},
+		{Name: "open", Handle: 1},
+		{Name: "close", Handle: 1},
+	}}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestFilterDefault(t *testing.T) {
+	tr := &Trace{Ops: []Op{
+		{Name: "open", Handle: 1},
+		{Name: "fileno", Handle: 1},
+		{Name: "mmap", Handle: 1},
+		{Name: "read", Handle: 1, Bytes: 8},
+		{Name: "fscanf", Handle: 1},
+		{Name: "close", Handle: 1},
+	}}
+	f := tr.Filter(nil)
+	if f.Len() != 3 {
+		t.Fatalf("Filter left %d ops, want 3: %v", f.Len(), f.Ops)
+	}
+	for _, op := range f.Ops {
+		if DefaultNegligible[op.Name] {
+			t.Fatalf("negligible op %q survived", op.Name)
+		}
+	}
+}
+
+func TestFilterCustomSet(t *testing.T) {
+	tr := sample()
+	f := tr.Filter(map[string]bool{"read": true})
+	if f.CountByName("read") != 0 || f.Len() != 3 {
+		t.Fatal("custom filter not applied")
+	}
+}
+
+func TestFilterPreservesMetadata(t *testing.T) {
+	f := sample().Filter(nil)
+	if f.Name != "t1" || f.Label != "A" {
+		t.Fatal("Filter dropped metadata")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	s := FormatString(tr)
+	got, err := ParseString(s)
+	if err != nil {
+		t.Fatalf("ParseString: %v\ninput:\n%s", err, s)
+	}
+	if got.Name != tr.Name || got.Label != tr.Label {
+		t.Fatalf("metadata round-trip: got %q/%q", got.Name, got.Label)
+	}
+	if len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("op count %d, want %d", len(got.Ops), len(tr.Ops))
+	}
+	for i := range tr.Ops {
+		if got.Ops[i] != tr.Ops[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got.Ops[i], tr.Ops[i])
+		}
+	}
+}
+
+func TestRoundTripQuick(t *testing.T) {
+	names := []string{"open", "read", "write", "lseek", "close", "fsync"}
+	f := func(seed uint64, n uint8) bool {
+		r := xrand.New(seed)
+		tr := &Trace{Name: "q", Label: "X"}
+		for i := 0; i < int(n%50)+1; i++ {
+			op := Op{
+				Name:   names[r.Intn(len(names))],
+				Handle: r.Intn(8),
+			}
+			if op.Name == "read" || op.Name == "write" {
+				op.Bytes = int64(r.Intn(1 << 20))
+			}
+			if r.Bool(0.2) {
+				op.Addr = r.Uint64() >> 16
+			}
+			if op.Name == "open" && r.Bool(0.5) {
+				op.Path = "file with space.dat"
+			}
+			tr.Append(op)
+		}
+		got, err := ParseString(FormatString(tr))
+		if err != nil {
+			return false
+		}
+		if len(got.Ops) != len(tr.Ops) {
+			return false
+		}
+		for i := range tr.Ops {
+			if got.Ops[i] != tr.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	in := `
+# a comment
+% name="x" label="B"
+
+read fh=3 bytes=10
+`
+	tr, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "x" || tr.Label != "B" || tr.Len() != 1 {
+		t.Fatalf("parsed %+v", tr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"missing fh", "read bytes=10"},
+		{"bad fh", "read fh=zz"},
+		{"bad bytes", "read fh=1 bytes=abc"},
+		{"negative bytes", "read fh=1 bytes=-5"},
+		{"unknown key", "read fh=1 color=red"},
+		{"bad header", "% nope"},
+		{"unknown header key", "% foo=bar"},
+		{"bad addr", "read fh=1 addr=0xZZ"},
+		{"not key=value", "read fh"},
+		{"unterminated quote", `open fh=1 path="broken`},
+	}
+	for _, c := range cases {
+		if _, err := ParseString(c.in); err == nil {
+			t.Errorf("%s: expected error for %q", c.name, c.in)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("read fh=1 bytes=4\nbogus line here\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("message %q lacks line info", pe.Error())
+	}
+}
+
+func TestOpStringOmitsZeroFields(t *testing.T) {
+	s := Op{Name: "close", Handle: 2}.String()
+	if strings.Contains(s, "bytes") || strings.Contains(s, "addr") || strings.Contains(s, "path") {
+		t.Fatalf("zero fields leaked into %q", s)
+	}
+}
+
+func TestParseStraceBasic(t *testing.T) {
+	in := `
+open("data.bin", O_RDONLY) = 3
+read(3, "...", 4096) = 4096
+lseek(3, 8192, SEEK_SET) = 8192
+write(3, "...", 512) = 512
+close(3) = 0
+`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Name: "open", Handle: 3, Path: "data.bin"},
+		{Name: "read", Handle: 3, Bytes: 4096},
+		{Name: "lseek", Handle: 3},
+		{Name: "write", Handle: 3, Bytes: 512},
+		{Name: "close", Handle: 3},
+	}
+	if len(tr.Ops) != len(want) {
+		t.Fatalf("got %d ops %v, want %d", len(tr.Ops), tr.Ops, len(want))
+	}
+	for i := range want {
+		if tr.Ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, tr.Ops[i], want[i])
+		}
+	}
+}
+
+func TestParseStraceSkipsNoise(t *testing.T) {
+	in := `
+--- SIGCHLD {si_signo=SIGCHLD} ---
++++ exited with 0 +++
+open("x", O_RDONLY) = -1 ENOENT (No such file)
+read(3 <unfinished ...>
+1234  write(5, "abc", 3) = 3
+`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 1 || tr.Ops[0].Name != "write" || tr.Ops[0].Handle != 5 || tr.Ops[0].Bytes != 3 {
+		t.Fatalf("got %v", tr.Ops)
+	}
+}
+
+func TestParseStraceTruncatedReadUsesCountArg(t *testing.T) {
+	in := `read(7, "...", 65536) = -1`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 1 || tr.Ops[0].Bytes != 65536 {
+		t.Fatalf("got %v", tr.Ops)
+	}
+}
+
+func TestParseStraceOpenat(t *testing.T) {
+	in := `openat(AT_FDCWD, "f.dat", O_WRONLY|O_CREAT, 0644) = 4`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 1 || tr.Ops[0].Name != "open" || tr.Ops[0].Handle != 4 || tr.Ops[0].Path != "f.dat" {
+		t.Fatalf("got %+v", tr.Ops)
+	}
+}

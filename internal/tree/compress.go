@@ -1,0 +1,178 @@
+package tree
+
+// Compression implements the space-saving step of §3.1: "a set of
+// consecutive operation nodes on the same block can be expressed as a single
+// node when they present some simple patterns", following Kluge's redundancy
+// elimination. Four transformations run in the given order, and the whole
+// sequence is repeated to capture higher-level patterns (the paper repeats
+// it "once again", i.e. two passes).
+//
+// The rules, for two consecutive leaves u, v inside one BLOCK:
+//
+//  1. Same name, same byte count  -> one node, Repeat = u.Repeat + v.Repeat.
+//     ("a read operation inside a loop reading a file n bytes per
+//     iteration")
+//  2. Same name, different byte counts -> one node with the same name whose
+//     byte value combines both ("initializing ... a 2-bytes integer and a
+//     4-bytes integer"); we combine by summation, which preserves
+//     bytes-per-compound-iteration.
+//  3. Different names, same byte count -> one node with the combined name
+//     ("interlaced read and write ... might indicate a tacit copy"); names
+//     combine as "read+write".
+//  4. Different names, different byte counts, one of them zero -> one node
+//     with the combined name and the non-zero count ("an lseek operation
+//     moves the pointer ... and a write operation records the information").
+//
+// Where the paper is silent we pin these semantics (documented in
+// DESIGN.md):
+//
+//   - Rule 1 collapses whole runs in a single scan (the merged node keeps
+//     absorbing following equal nodes), since a run of identical operations
+//     is one loop regardless of length.
+//   - Rules 2-4 merge non-overlapping adjacent pairs per scan — the merged
+//     node is not immediately re-merged with its successor. Otherwise a
+//     sequence read[2] read[4] read[2] read[4] would collapse into a single
+//     read[12] and the loop structure (read[6] x2) would be lost. The
+//     repetition emerges on the next pass via rule 1.
+//   - Rules 2-4 require equal repetition counts on the two nodes and keep
+//     that count: merging read[2]x3 with read[4]x3 yields read[6]x3 (three
+//     compound iterations). Unequal counts do not merge.
+
+// CompressOptions configure the compression step.
+type CompressOptions struct {
+	// Passes is the number of full rule-sequence passes. 0 disables
+	// compression; negative runs to a fixpoint (capped). The paper's
+	// behaviour is 2 (DefaultPasses).
+	Passes int
+}
+
+// DefaultPasses is the paper's pass count: the rule sequence is applied and
+// then "repeated once again".
+const DefaultPasses = 2
+
+// fixpointCap bounds fixpoint iteration for Passes < 0.
+const fixpointCap = 32
+
+// DefaultCompress returns the paper's compression configuration.
+func DefaultCompress() CompressOptions { return CompressOptions{Passes: DefaultPasses} }
+
+// Compress applies the merge rules to every BLOCK of the tree in place.
+func Compress(root *Node, opt CompressOptions) {
+	passes := opt.Passes
+	fixpoint := false
+	if passes < 0 {
+		passes = fixpointCap
+		fixpoint = true
+	}
+	root.Walk(func(n *Node, _ int) bool {
+		if n.Kind != Block {
+			return true
+		}
+		for p := 0; p < passes; p++ {
+			changed := false
+			n.Children, changed = compressPass(n.Children)
+			if fixpoint && !changed {
+				break
+			}
+		}
+		return false // no OpNode children to descend into
+	})
+}
+
+// compressPass runs rules 1-4 once, in order, over the leaf list. It
+// reports whether any rule merged anything.
+func compressPass(ops []*Node) ([]*Node, bool) {
+	changed := false
+	var c bool
+	ops, c = mergeRuns(ops)
+	changed = changed || c
+	ops, c = mergePairs(ops, rule2)
+	changed = changed || c
+	ops, c = mergePairs(ops, rule3)
+	changed = changed || c
+	ops, c = mergePairs(ops, rule4)
+	changed = changed || c
+	return ops, changed
+}
+
+// mergeRuns implements rule 1: collapse runs of leaves with equal name and
+// byte count, summing repetition counts.
+func mergeRuns(ops []*Node) ([]*Node, bool) {
+	if len(ops) < 2 {
+		return ops, false
+	}
+	out := ops[:0:0] // fresh backing array; ops may alias caller state
+	changed := false
+	for _, op := range ops {
+		if n := len(out); n > 0 {
+			last := out[n-1]
+			if last.Name == op.Name && last.Bytes == op.Bytes {
+				last.Repeat += op.Repeat
+				changed = true
+				continue
+			}
+		}
+		out = append(out, op)
+	}
+	return out, changed
+}
+
+// pairRule inspects two consecutive leaves and returns the merged node, or
+// nil when the rule does not apply.
+type pairRule func(u, v *Node) *Node
+
+// rule2: same name, different bytes, equal repeats -> summed byte counts.
+func rule2(u, v *Node) *Node {
+	if u.Name != v.Name || u.Bytes == v.Bytes || u.Repeat != v.Repeat {
+		return nil
+	}
+	return &Node{Kind: OpNode, Name: u.Name, Bytes: u.Bytes + v.Bytes, Repeat: u.Repeat}
+}
+
+// rule3: different names, same bytes, equal repeats -> combined name.
+func rule3(u, v *Node) *Node {
+	if u.Name == v.Name || u.Bytes != v.Bytes || u.Repeat != v.Repeat {
+		return nil
+	}
+	return &Node{Kind: OpNode, Name: u.Name + "+" + v.Name, Bytes: u.Bytes, Repeat: u.Repeat}
+}
+
+// rule4: different names, different bytes, one count zero, equal repeats ->
+// combined name, non-zero count.
+func rule4(u, v *Node) *Node {
+	if u.Name == v.Name || u.Bytes == v.Bytes || u.Repeat != v.Repeat {
+		return nil
+	}
+	if u.Bytes != 0 && v.Bytes != 0 {
+		return nil
+	}
+	bytes := u.Bytes
+	if bytes == 0 {
+		bytes = v.Bytes
+	}
+	return &Node{Kind: OpNode, Name: u.Name + "+" + v.Name, Bytes: bytes, Repeat: u.Repeat}
+}
+
+// mergePairs scans left to right merging non-overlapping adjacent pairs with
+// the rule. The merged node is appended and the scan continues after the
+// pair, so a merged node is never re-merged within the same scan.
+func mergePairs(ops []*Node, rule pairRule) ([]*Node, bool) {
+	if len(ops) < 2 {
+		return ops, false
+	}
+	out := ops[:0:0]
+	changed := false
+	for i := 0; i < len(ops); {
+		if i+1 < len(ops) {
+			if m := rule(ops[i], ops[i+1]); m != nil {
+				out = append(out, m)
+				i += 2
+				changed = true
+				continue
+			}
+		}
+		out = append(out, ops[i])
+		i++
+	}
+	return out, changed
+}

@@ -1,0 +1,261 @@
+// Package tree implements the pattern-tree intermediate representation from
+// §3.1 of Torres et al. (PaCT 2017).
+//
+// A pattern tree has four levels:
+//
+//	ROOT                   groups all operations of one trace
+//	└── HANDLE             one per file handle
+//	    └── BLOCK          one per open..close span on that handle
+//	        └── operation  leaf nodes; open/close themselves are elided
+//	                       because the BLOCK already delimits them
+//
+// Consecutive operation leaves are compacted by the four merge rules in
+// compress.go before the tree is flattened into a weighted string.
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies the level of a node.
+type Kind int
+
+const (
+	// Root is the imaginary node grouping a whole access pattern.
+	Root Kind = iota
+	// Handle groups all operations of one file handle.
+	Handle
+	// Block groups the operations between an open and its close.
+	Block
+	// OpNode is a leaf operation (possibly a compacted run).
+	OpNode
+)
+
+// String returns the level name.
+func (k Kind) String() string {
+	switch k {
+	case Root:
+		return "ROOT"
+	case Handle:
+		return "HANDLE"
+	case Block:
+		return "BLOCK"
+	case OpNode:
+		return "OP"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is a pattern-tree node. Interior nodes (Root/Handle/Block) carry only
+// children; leaves carry the operation name, byte count, and a repetition
+// count maintained by the compression step.
+type Node struct {
+	Kind Kind
+	// Name is the operation name for OpNode leaves. Compression rules 3 and
+	// 4 produce combined names such as "lseek+write".
+	Name string
+	// Bytes is the byte count for OpNode leaves. Compression rule 2 sums the
+	// byte counts of the merged operations.
+	Bytes int64
+	// Repeat is the repetition count (>= 1) for OpNode leaves; interior
+	// nodes always have Repeat 1.
+	Repeat int
+	// Children are the ordered children of interior nodes.
+	Children []*Node
+}
+
+// NewOp returns a leaf node with repetition count 1.
+func NewOp(name string, bytes int64) *Node {
+	return &Node{Kind: OpNode, Name: name, Bytes: bytes, Repeat: 1}
+}
+
+// NewInterior returns an interior node of the given kind.
+func NewInterior(k Kind, children ...*Node) *Node {
+	return &Node{Kind: k, Repeat: 1, Children: children}
+}
+
+// Clone returns a deep copy of the subtree.
+func (n *Node) Clone() *Node {
+	c := &Node{Kind: n.Kind, Name: n.Name, Bytes: n.Bytes, Repeat: n.Repeat}
+	if n.Children != nil {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// IsLeaf reports whether the node is an operation leaf.
+func (n *Node) IsLeaf() bool { return n.Kind == OpNode }
+
+// CountLeaves returns the number of operation leaves in the subtree.
+func (n *Node) CountLeaves() int {
+	if n.IsLeaf() {
+		return 1
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.CountLeaves()
+	}
+	return total
+}
+
+// CountNodes returns the number of nodes in the subtree (including n).
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Depth returns the height of the subtree (a lone node has depth 1).
+func (n *Node) Depth() int {
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// TotalOps returns the repetition-weighted number of primitive operations
+// represented by the subtree's leaves. Merge rule 1 preserves this exactly;
+// rules 2-4 fold k consecutive operations into one, so the value may shrink
+// across a full compression pass.
+func (n *Node) TotalOps() int {
+	if n.IsLeaf() {
+		return n.Repeat
+	}
+	total := 0
+	for _, c := range n.Children {
+		total += c.TotalOps()
+	}
+	return total
+}
+
+// TotalBytes returns the repetition-weighted byte volume of the subtree.
+// Merge rules 1 and 2 preserve this quantity exactly; rules 3 and 4 fold two
+// operations with byte counts b and b (rule 3) or b and 0 (rule 4) into one
+// compound operation carrying a single count b, so the total can shrink —
+// see the rule documentation in compress.go.
+func (n *Node) TotalBytes() int64 {
+	if n.IsLeaf() {
+		return n.Bytes * int64(n.Repeat)
+	}
+	var total int64
+	for _, c := range n.Children {
+		total += c.TotalBytes()
+	}
+	return total
+}
+
+// Walk calls fn for every node in pre-order with its depth (root depth 0).
+// Returning false from fn prunes the node's subtree.
+func (n *Node) Walk(fn func(node *Node, depth int) bool) {
+	n.walk(0, fn)
+}
+
+func (n *Node) walk(depth int, fn func(*Node, int) bool) {
+	if !fn(n, depth) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(depth+1, fn)
+	}
+}
+
+// Equal reports structural equality of two subtrees.
+func (n *Node) Equal(m *Node) bool {
+	if n == nil || m == nil {
+		return n == m
+	}
+	if n.Kind != m.Kind || n.Name != m.Name || n.Bytes != m.Bytes || n.Repeat != m.Repeat {
+		return false
+	}
+	if len(n.Children) != len(m.Children) {
+		return false
+	}
+	for i := range n.Children {
+		if !n.Children[i].Equal(m.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Render returns a human-readable ASCII rendering of the tree, one node per
+// line, indented two spaces per level. Used by cmd/iok2str -tree and in
+// golden tests.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.Walk(func(node *Node, depth int) bool {
+		b.WriteString(strings.Repeat("  ", depth))
+		switch node.Kind {
+		case OpNode:
+			fmt.Fprintf(&b, "%s[%d]", node.Name, node.Bytes)
+			if node.Repeat != 1 {
+				fmt.Fprintf(&b, " x%d", node.Repeat)
+			}
+		default:
+			b.WriteString(node.Kind.String())
+		}
+		b.WriteByte('\n')
+		return true
+	})
+	return b.String()
+}
+
+// Validate checks the four-level structural invariants: Root contains only
+// Handles, Handles only Blocks, Blocks only OpNodes, leaves have Repeat >= 1
+// and no children, and interior nodes have Repeat == 1.
+func (n *Node) Validate() error {
+	if n.Kind != Root {
+		return fmt.Errorf("tree: top node is %v, want ROOT", n.Kind)
+	}
+	var check func(node *Node) error
+	check = func(node *Node) error {
+		if node.IsLeaf() {
+			if len(node.Children) != 0 {
+				return fmt.Errorf("tree: leaf %q has children", node.Name)
+			}
+			if node.Repeat < 1 {
+				return fmt.Errorf("tree: leaf %q has repeat %d", node.Name, node.Repeat)
+			}
+			if node.Name == "" {
+				return fmt.Errorf("tree: leaf with empty name")
+			}
+			if node.Bytes < 0 {
+				return fmt.Errorf("tree: leaf %q has negative bytes %d", node.Name, node.Bytes)
+			}
+			return nil
+		}
+		if node.Repeat != 1 {
+			return fmt.Errorf("tree: interior %v has repeat %d", node.Kind, node.Repeat)
+		}
+		var wantChild Kind
+		switch node.Kind {
+		case Root:
+			wantChild = Handle
+		case Handle:
+			wantChild = Block
+		case Block:
+			wantChild = OpNode
+		default:
+			return fmt.Errorf("tree: unexpected interior kind %v", node.Kind)
+		}
+		for _, c := range node.Children {
+			if c.Kind != wantChild {
+				return fmt.Errorf("tree: %v has child %v, want %v", node.Kind, c.Kind, wantChild)
+			}
+			if err := check(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return check(n)
+}

@@ -1,0 +1,145 @@
+package iokast
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const demoTrace = `
+open fh=1
+write fh=1 bytes=8
+write fh=1 bytes=8
+read fh=1 bytes=4096
+close fh=1
+`
+
+func TestParseConvertRoundTrip(t *testing.T) {
+	tr, err := ParseTraceString(demoTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Convert(tr, ConvertOptions{})
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseWeightedString(s.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parsed.Equal(s) {
+		t.Fatal("weighted string round trip failed")
+	}
+}
+
+func TestFormatTrace(t *testing.T) {
+	tr, _ := ParseTraceString(demoTrace)
+	var sb strings.Builder
+	if err := FormatTrace(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "write fh=1 bytes=8") {
+		t.Fatalf("formatted trace wrong:\n%s", sb.String())
+	}
+}
+
+func TestParseStraceFacade(t *testing.T) {
+	tr, err := ParseStrace(strings.NewReader(`read(3, "", 64) = 64`))
+	if err != nil || tr.Len() != 1 {
+		t.Fatalf("strace facade: %v %v", tr, err)
+	}
+}
+
+func TestKernelFacades(t *testing.T) {
+	tr, _ := ParseTraceString(demoTrace)
+	s := Convert(tr, ConvertOptions{})
+	k := NewKast(2)
+	if got := CosineNormalized(k).Compare(s, s); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("cosine self = %v", got)
+	}
+	if got := PaperNormalized(k).Compare(s, s); got <= 0 {
+		t.Fatalf("paper self = %v", got)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	ds, err := GeneratePaperDataset(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 110 {
+		t.Fatalf("dataset %d", ds.Len())
+	}
+	// Subsample for speed: first 3 of each category block.
+	var xs []WeightedString
+	var labels []string
+	for i := 0; i < ds.Len(); i += 10 {
+		xs = append(xs, Convert(ds.Traces[i], ConvertOptions{}))
+		labels = append(labels, ds.Labels[i])
+	}
+	sim, clipped, err := PaperSimilarity(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clipped < 0 || sim.Rows != len(xs) {
+		t.Fatalf("similarity shape %d clipped %d", sim.Rows, clipped)
+	}
+	res, err := KernelPCA(sim, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coords.Rows != len(xs) || res.Coords.Cols != 2 {
+		t.Fatal("KPCA shape wrong")
+	}
+	dg, err := HCluster(sim, SingleLinkage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := dg.Cut(3)
+	p, err := Purity(assign, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.8 {
+		t.Fatalf("purity %v suspiciously low", p)
+	}
+	if _, err := AdjustedRandIndex(assign, labels); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosineSimilarityFacade(t *testing.T) {
+	a, _ := ParseTraceString(demoTrace)
+	xs := []WeightedString{Convert(a, ConvertOptions{}), Convert(a, ConvertOptions{IgnoreBytes: true})}
+	sim, _, err := CosineSimilarity(&BlendedKernel{P: 3}, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.At(0, 0)-1) > 1e-9 {
+		t.Fatalf("diag %v", sim.At(0, 0))
+	}
+}
+
+func TestGenerateTrace(t *testing.T) {
+	for _, cat := range []string{"A", "B", "C", "D"} {
+		tr, err := GenerateTrace(cat, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Label != cat || tr.Len() == 0 {
+			t.Fatalf("category %s: %+v", cat, tr.Label)
+		}
+	}
+	if _, err := GenerateTrace("Z", 1); err == nil {
+		t.Fatal("unknown category accepted")
+	}
+}
+
+func TestGramFacade(t *testing.T) {
+	tr, _ := ParseTraceString(demoTrace)
+	s := Convert(tr, ConvertOptions{})
+	g := Gram(NewKast(2), []WeightedString{s, s})
+	if g.Rows != 2 || g.At(0, 1) != g.At(1, 0) {
+		t.Fatal("gram facade wrong")
+	}
+}

@@ -1,0 +1,7 @@
+package iokast
+
+import "iokast/internal/xrand"
+
+// newRand isolates the façade's only dependency on the internal RNG so the
+// public surface stays free of internal types.
+func newRand(seed uint64) *xrand.Rand { return xrand.New(seed) }
