@@ -1,0 +1,54 @@
+// Command iokserve runs an HTTP similarity service backed by the
+// incremental Gram engine: traces are POSTed one at a time, converted to
+// weighted strings, and inserted with one row of kernel evaluations; the
+// similarity matrix and top-k neighbour queries are served from the
+// incrementally maintained state.
+//
+// Usage:
+//
+//	iokserve [-addr :8080] [-kernel kast] [-cut 2] [-k 5] [-count]
+//	         [-nobytes] [-workers 0]
+//
+// Endpoints:
+//
+//	POST   /traces           body = trace text; returns {"id": n, ...}
+//	DELETE /traces/{id}      remove a trace from the corpus
+//	GET    /similar?id=&k=   top-k most similar corpus entries
+//	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
+//	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
+//	GET    /healthz          liveness probe with corpus size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"iokast/internal/cli"
+	"iokast/internal/core"
+	"iokast/internal/engine"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	kernelName := flag.String("kernel", "kast", "kernel: kast, blended, spectrum or bagoftokens")
+	cut := flag.Int("cut", 2, "cut weight")
+	k := flag.Int("k", 0, "substring length bound for blended/spectrum (0 = default)")
+	count := flag.Bool("count", false, "count occurrences instead of summing weights (baselines)")
+	noBytes := flag.Bool("nobytes", false, "ignore byte counts when converting traces")
+	workers := flag.Int("workers", 0, "max goroutines for kernel evaluation (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
+	kern, err := spec.Build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
+		os.Exit(2)
+	}
+	eng := engine.New(engine.Options{Kernel: kern, Workers: *workers})
+	srv := newServer(eng, core.Options{IgnoreBytes: *noBytes})
+	log.Printf("iokserve: kernel %s, listening on %s", kern.Name(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

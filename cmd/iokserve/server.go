@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/linalg"
+	"iokast/internal/trace"
+)
+
+// maxTraceBody bounds how much of a POST /traces body is read; a trace of
+// this size is far beyond anything the pipeline is tuned for.
+const maxTraceBody = 16 << 20
+
+// server routes HTTP requests onto one shared engine. Concurrency control
+// lives entirely in the engine; handlers hold no state of their own.
+type server struct {
+	eng  *engine.Engine
+	copt core.Options
+	mux  *http.ServeMux
+}
+
+func newServer(eng *engine.Engine, copt core.Options) *server {
+	s := &server{eng: eng, copt: copt, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces/", s.handleTraceByID)
+	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/gram", s.handleGram)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a trace in the canonical text format")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxTraceBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBody)
+		return
+	}
+	tr, err := trace.ParseString(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
+		return
+	}
+	x := core.Convert(tr, s.copt)
+	id := s.eng.Add(x)
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id":     id,
+		"name":   tr.Name,
+		"tokens": len(x),
+		"weight": x.Weight(),
+	})
+}
+
+func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad trace id %q", idStr)
+		return
+	}
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "only DELETE is supported on /traces/{id}")
+		return
+	}
+	if err := s.eng.Remove(id); err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+}
+
+func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /similar?id=&k=")
+		return
+	}
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad or missing id")
+		return
+	}
+	k := 10
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		k, err = strconv.Atoi(ks)
+		if err != nil || k < 0 {
+			httpError(w, http.StatusBadRequest, "bad k %q", ks)
+			return
+		}
+	}
+	ns, err := s.eng.Similar(id, k)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "neighbors": ns})
+}
+
+func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /gram")
+		return
+	}
+	var (
+		m   *linalg.Matrix
+		ids []int
+	)
+	resp := map[string]any{"kernel": s.eng.Kernel().Name()}
+	if norm := r.URL.Query().Get("normalized"); norm == "1" || norm == "true" {
+		var clipped int
+		var err error
+		m, ids, clipped, err = s.eng.NormalizedGram()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, "normalize: %v", err)
+			return
+		}
+		resp["clipped_eigenvalues"] = clipped
+	} else {
+		m, ids = s.eng.Gram()
+	}
+	rows := make([][]float64, m.Rows)
+	for i := range rows {
+		rows[i] = m.Row(i)
+	}
+	resp["ids"] = ids
+	resp["matrix"] = rows
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "traces": s.eng.Len()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+}

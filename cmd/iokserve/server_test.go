@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+)
+
+const traceA = `% name=writerA label=A
+open fh=1
+write fh=1 bytes=1024
+write fh=1 bytes=1024
+write fh=1 bytes=1024
+close fh=1
+`
+
+const traceB = `% name=seekerB label=D
+open fh=1
+lseek fh=1
+read fh=1 bytes=512
+lseek fh=1
+read fh=1 bytes=512
+close fh=1
+`
+
+func testServer() *server {
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2})
+	return newServer(eng, core.Options{})
+}
+
+func doJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int) map[string]any {
+	t.Helper()
+	var r *http.Request
+	if body == "" {
+		r = httptest.NewRequest(method, target, nil)
+	} else {
+		r = httptest.NewRequest(method, target, strings.NewReader(body))
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != wantStatus {
+		t.Fatalf("%s %s: status %d (want %d), body %s", method, target, w.Code, wantStatus, w.Body)
+	}
+	out := map[string]any{}
+	if err := json.Unmarshal(w.Body.Bytes(), &out); err != nil {
+		t.Fatalf("%s %s: bad JSON %q: %v", method, target, w.Body, err)
+	}
+	return out
+}
+
+func TestServeTraceLifecycle(t *testing.T) {
+	s := testServer()
+
+	// Ingest: same trace twice plus a different one.
+	for i, body := range []string{traceA, traceA, traceB} {
+		resp := doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)
+		if int(resp["id"].(float64)) != i {
+			t.Fatalf("POST #%d: id = %v", i, resp["id"])
+		}
+		if resp["tokens"].(float64) <= 0 {
+			t.Fatalf("POST #%d: tokens = %v", i, resp["tokens"])
+		}
+	}
+
+	// The duplicate of trace 0 must be its perfect neighbour.
+	resp := doJSON(t, s, http.MethodGet, "/similar?id=0&k=1", "", http.StatusOK)
+	ns := resp["neighbors"].([]any)
+	if len(ns) != 1 {
+		t.Fatalf("neighbors = %v", ns)
+	}
+	top := ns[0].(map[string]any)
+	if int(top["id"].(float64)) != 1 || top["similarity"].(float64) < 0.999999 {
+		t.Fatalf("top neighbour = %v, want id 1 at similarity 1", top)
+	}
+
+	// Gram: 3x3, symmetric, and the normalized variant reports PSD info.
+	resp = doJSON(t, s, http.MethodGet, "/gram", "", http.StatusOK)
+	if ids := resp["ids"].([]any); len(ids) != 3 {
+		t.Fatalf("gram ids = %v", ids)
+	}
+	m := resp["matrix"].([]any)
+	if len(m) != 3 || len(m[0].([]any)) != 3 {
+		t.Fatalf("gram matrix shape wrong: %v", m)
+	}
+	resp = doJSON(t, s, http.MethodGet, "/gram?normalized=1", "", http.StatusOK)
+	if _, ok := resp["clipped_eigenvalues"]; !ok {
+		t.Fatalf("normalized gram missing clipped_eigenvalues: %v", resp)
+	}
+	diag := resp["matrix"].([]any)[0].([]any)[0].(float64)
+	if diag <= 0 {
+		t.Fatalf("normalized self-similarity = %v", diag)
+	}
+
+	// Remove one and confirm the corpus shrinks.
+	doJSON(t, s, http.MethodDelete, "/traces/1", "", http.StatusOK)
+	resp = doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != 2 {
+		t.Fatalf("healthz traces = %v after delete", n)
+	}
+	doJSON(t, s, http.MethodDelete, "/traces/1", "", http.StatusNotFound)
+}
+
+func TestServeErrors(t *testing.T) {
+	s := testServer()
+	doJSON(t, s, http.MethodGet, "/traces", "", http.StatusMethodNotAllowed)
+	doJSON(t, s, http.MethodPost, "/traces", "not a trace line", http.StatusBadRequest)
+	doJSON(t, s, http.MethodPost, "/similar?id=0", "", http.StatusMethodNotAllowed)
+	doJSON(t, s, http.MethodGet, "/similar", "", http.StatusBadRequest)
+	doJSON(t, s, http.MethodGet, "/similar?id=7", "", http.StatusNotFound)
+	doJSON(t, s, http.MethodGet, "/similar?id=0&k=-1", "", http.StatusBadRequest)
+	doJSON(t, s, http.MethodDelete, "/traces/zap", "", http.StatusBadRequest)
+	doJSON(t, s, http.MethodPost, "/gram", "", http.StatusMethodNotAllowed)
+}
+
+func TestServeConcurrentClients(t *testing.T) {
+	s := testServer()
+	const clients = 8
+	errc := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		c := c
+		go func() {
+			body := traceA
+			if c%2 == 1 {
+				body = traceB
+			}
+			for i := 0; i < 5; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/traces", strings.NewReader(body))
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, r)
+				if w.Code != http.StatusCreated {
+					errc <- fmt.Errorf("client %d: status %d: %s", c, w.Code, w.Body)
+					return
+				}
+				r = httptest.NewRequest(http.MethodGet, "/gram", nil)
+				w = httptest.NewRecorder()
+				s.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					errc <- fmt.Errorf("client %d: gram status %d", c, w.Code)
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp := doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != clients*5 {
+		t.Fatalf("traces = %v, want %d", n, clients*5)
+	}
+}

@@ -1,0 +1,3 @@
+module iokast
+
+go 1.21

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"iokast/internal/token"
+)
+
+// decodeWeighted turns fuzz bytes into a weighted string: each byte yields
+// one token whose literal is drawn from a small alphabet (high nibble, so
+// shared substrings are common) and whose weight is 1..16 (low nibble).
+// Small alphabets maximise the chance of exercising the interesting kernel
+// phases (shared substrings, coverage, viability).
+func decodeWeighted(data []byte, maxLen int) token.String {
+	if len(data) > maxLen {
+		data = data[:maxLen]
+	}
+	s := make(token.String, len(data))
+	for i, b := range data {
+		s[i] = token.Token{
+			Literal: string(rune('a' + (b>>4)%4)),
+			Weight:  int(b&0x0f) + 1,
+		}
+	}
+	return s
+}
+
+// FuzzKastMatchesNaive cross-checks the optimised Kast kernel against the
+// per-definition NaiveKast reference on random weighted strings, cut
+// weights, and both viability variants. The naive implementation is
+// O(n^3)-ish, so inputs are truncated to keep iterations fast.
+func FuzzKastMatchesNaive(f *testing.F) {
+	f.Add([]byte{0x11, 0x22, 0x11}, []byte{0x11, 0x22}, uint8(2), false)
+	f.Add([]byte{0x14, 0x24, 0x14, 0x24}, []byte{0x14, 0x24, 0x14}, uint8(4), false)
+	f.Add([]byte{0xf1, 0x01, 0xf1}, []byte{0xf1, 0x01}, uint8(3), true)
+	f.Add([]byte{}, []byte{0x55}, uint8(0), false)
+	f.Add([]byte{0x33, 0x33, 0x33, 0x33, 0x33}, []byte{0x33, 0x33, 0x33}, uint8(6), true)
+
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte, cut uint8, total bool) {
+		a := decodeWeighted(rawA, 12)
+		b := decodeWeighted(rawB, 12)
+		via := ViaMaxOccurrence
+		if total {
+			via = ViaTotalWeight
+		}
+		// Weights are <= 16 and strings <= 12 tokens, so cut weights above
+		// 16*12 are all equivalent to "nothing viable"; cap keeps the
+		// space dense without losing that case.
+		k := &Kast{CutWeight: int(cut), Viability: via}
+		naive := &NaiveKast{CutWeight: int(cut), Viability: via}
+
+		fast := k.Compare(a, b)
+		slow := naive.Compare(a, b)
+		if fast != slow {
+			t.Fatalf("Kast(%v) mismatch on\n a=%v\n b=%v\n fast=%g slow=%g",
+				k.Name(), a, b, fast, slow)
+		}
+
+		// The kernel must be symmetric too.
+		if rev := k.Compare(b, a); rev != fast {
+			t.Fatalf("asymmetric: k(a,b)=%g k(b,a)=%g", fast, rev)
+		}
+
+		// And ComparePrepared over a shared interner must agree exactly
+		// with the pairwise-interned path.
+		in := NewInterner()
+		pa, pb := in.Prepare(a), in.Prepare(b)
+		if prep := k.ComparePrepared(pa, pb); prep != fast {
+			t.Fatalf("ComparePrepared=%g, Compare=%g", prep, fast)
+		}
+	})
+}

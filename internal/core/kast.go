@@ -82,12 +82,22 @@ func (k *Kast) Compare(a, b token.String) float64 {
 		return 0
 	}
 	av, bv := internPair(a, b)
+	return k.compareViews(av, bv)
+}
+
+// compareViews runs the kernel over two interned views. The views must have
+// been interned over a common literal table (internPair or a shared
+// Interner) so that equal literals carry equal ids.
+func (k *Kast) compareViews(av, bv seqView) float64 {
+	if len(av.ids) == 0 || len(bv.ids) == 0 {
+		return 0
+	}
 
 	// Longest common extension: LA[i] = longest match starting at A[i]
 	// anywhere in B; LB[j] symmetric.
 	la, lb := matchLengths(av.ids, bv.ids)
 
-	table := make(map[substringKey]*substringStats, len(a)+len(b))
+	table := make(map[substringKey]*substringStats, len(av.ids)+len(bv.ids))
 
 	// Phase 1: register substrings that have a >= cut occurrence, per side.
 	// Occurrence weight grows with length at a fixed start, so only lengths

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"sync"
+
+	"iokast/internal/token"
+)
+
+// Prepared is a weighted string preprocessed for repeated Kast kernel
+// evaluations: literals interned to integer ids over a shared table, plus
+// the prefix-weight and rolling-hash arrays Kast.Compare builds internally
+// for every pair. Preparing once and comparing many times removes the
+// per-pair preprocessing cost, which is what makes incremental Gram updates
+// cheap (compare internal/engine).
+//
+// A Prepared view is independent of the kernel's cut weight and viability
+// variant, so the same view can be reused across kernels with different
+// parameters without invalidation.
+type Prepared struct {
+	view seqView
+	str  token.String
+}
+
+// String returns the original weighted string the view was prepared from.
+func (p *Prepared) String() token.String { return p.str }
+
+// Len returns the token length of the underlying string.
+func (p *Prepared) Len() int { return len(p.view.ids) }
+
+// Interner interns token literals to dense int32 ids shared by every string
+// prepared through it. Views prepared by the same Interner are mutually
+// comparable with Kast.ComparePrepared; views from different Interners are
+// not (their ids come from different tables).
+//
+// Prepare is safe for concurrent use. The table only grows: preparing new
+// strings never invalidates previously returned views.
+type Interner struct {
+	mu   sync.Mutex
+	idOf map[string]int32
+	next int32
+}
+
+// NewInterner returns an empty literal table.
+func NewInterner() *Interner {
+	return &Interner{idOf: make(map[string]int32), next: 1}
+}
+
+// Prepare interns x and precomputes its prefix structures. The input string
+// is copied, so later mutation of x does not affect the view.
+func (in *Interner) Prepare(x token.String) *Prepared {
+	cp := make(token.String, len(x))
+	copy(cp, x)
+
+	n := len(cp)
+	v := seqView{
+		ids:  make([]int32, n),
+		pw:   make([]int, n+1),
+		h1:   make([]uint64, n+1),
+		h2:   make([]uint64, n+1),
+		pow1: make([]uint64, n+1),
+		pow2: make([]uint64, n+1),
+	}
+	v.pow1[0], v.pow2[0] = 1, 1
+	// Only the id table needs the lock; the O(n) prefix/hash build below
+	// runs outside it so concurrent Prepare calls overlap.
+	in.mu.Lock()
+	for i, t := range cp {
+		id, ok := in.idOf[t.Literal]
+		if !ok {
+			id = in.next
+			in.next++
+			in.idOf[t.Literal] = id
+		}
+		v.ids[i] = id
+	}
+	in.mu.Unlock()
+	for i, t := range cp {
+		id := v.ids[i]
+		v.pw[i+1] = v.pw[i] + t.Weight
+		v.h1[i+1] = v.h1[i]*hashBase1 + uint64(id)
+		v.h2[i+1] = v.h2[i]*hashBase2 + uint64(id)
+		v.pow1[i+1] = v.pow1[i] * hashBase1
+		v.pow2[i+1] = v.pow2[i] * hashBase2
+	}
+	return &Prepared{view: v, str: cp}
+}
+
+// Size returns the number of distinct literals interned so far.
+func (in *Interner) Size() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.idOf)
+}
+
+// ComparePrepared is Compare over views prepared by a shared Interner. It
+// produces exactly the same value as Compare on the original strings (the
+// kernel only depends on literal equality, which interning preserves) while
+// skipping the per-pair interning and prefix-structure work.
+func (k *Kast) ComparePrepared(a, b *Prepared) float64 {
+	return k.compareViews(a.view, b.view)
+}

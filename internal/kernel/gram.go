@@ -17,25 +17,38 @@ import (
 // package), feature maps are computed once per string and reused for every
 // pair, which turns the quadratic pair loop into cheap sparse dot products.
 func Gram(k Kernel, xs []token.String) *linalg.Matrix {
-	n := len(xs)
-	g := linalg.NewMatrix(n, n)
+	return GramWorkers(k, xs, 0)
+}
 
+// GramWorkers is Gram with an explicit bound on the number of worker
+// goroutines; workers <= 0 means GOMAXPROCS. Services that share the
+// process with other work (cmd/iokserve's --workers flag) use it to cap the
+// kernel's CPU footprint.
+func GramWorkers(k Kernel, xs []token.String, workers int) *linalg.Matrix {
+	n := len(xs)
 	if f, ok := k.(featurer); ok {
 		feats := make([]map[string]float64, n)
-		parallelFor(n, func(i int) { feats[i] = f.features(xs[i]) })
-		parallelFor(n, func(i int) {
-			for j := i; j < n; j++ {
-				v := dotFeatures(feats[i], feats[j])
-				g.Set(i, j, v)
-				g.Set(j, i, v)
-			}
+		ParallelFor(n, workers, func(i int) { feats[i] = f.features(xs[i]) })
+		return SymmetricGram(n, workers, func(i, j int) float64 {
+			return dotFeatures(feats[i], feats[j])
 		})
-		return g
 	}
+	return SymmetricGram(n, workers, func(i, j int) float64 {
+		return k.Compare(xs[i], xs[j])
+	})
+}
 
-	parallelFor(n, func(i int) {
+// SymmetricGram fills an n x n symmetric matrix from eval, which must be
+// symmetric in its arguments and safe for concurrent calls. Rows fan out
+// over ParallelFor with the given worker bound. The fill is race-free:
+// every cell (i, j) and its mirror (j, i) are written exactly once, by the
+// iteration i = min(i, j), and no cell is read until all iterations
+// complete. eval is only ever called with i <= j.
+func SymmetricGram(n, workers int, eval func(i, j int) float64) *linalg.Matrix {
+	g := linalg.NewMatrix(n, n)
+	ParallelFor(n, workers, func(i int) {
 		for j := i; j < n; j++ {
-			v := k.Compare(xs[i], xs[j])
+			v := eval(i, j)
 			g.Set(i, j, v)
 			g.Set(j, i, v)
 		}
@@ -43,12 +56,15 @@ func Gram(k Kernel, xs []token.String) *linalg.Matrix {
 	return g
 }
 
-// parallelFor runs fn(i) for i in [0, n) on up to GOMAXPROCS goroutines.
-// The callers above are race-free: every matrix cell (i, j) and its mirror
-// (j, i) are written exactly once, by the iteration i = min(i, j), and no
-// cell is read until all iterations complete.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
+// ParallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines
+// (workers <= 0 means GOMAXPROCS). fn must be safe to call concurrently for
+// distinct i. It is the shared fan-out primitive for Gram computation and
+// for the incremental engine's row updates, so a single --workers setting
+// bounds both.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > n {
 		workers = n
 	}

@@ -81,6 +81,24 @@ type featurer interface {
 	features(x token.String) map[string]float64
 }
 
+// Features returns k's feature map for x when k's Compare is an inner
+// product of per-string feature maps (the baseline kernels in this
+// package), and ok=false otherwise. Callers that hold strings across many
+// Compare calls — kernel.Gram internally, and the incremental engine — use
+// it to compute each string's map once and reduce every later kernel
+// evaluation to a sparse dot product (DotFeatures).
+func Features(k Kernel, x token.String) (feats map[string]float64, ok bool) {
+	f, ok := k.(featurer)
+	if !ok {
+		return nil, false
+	}
+	return f.features(x), true
+}
+
+// DotFeatures computes the kernel value from two feature maps obtained via
+// Features.
+func DotFeatures(fa, fb map[string]float64) float64 { return dotFeatures(fa, fb) }
+
 // dotFeatures computes the sparse inner product of two feature maps,
 // iterating over the smaller one.
 func dotFeatures(fa, fb map[string]float64) float64 {

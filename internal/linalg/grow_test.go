@@ -1,0 +1,87 @@
+package linalg
+
+import "testing"
+
+func TestGrowSymmetric(t *testing.T) {
+	m := NewMatrix(0, 0)
+	m.GrowSymmetric([]float64{1})
+	m.GrowSymmetric([]float64{2, 3})
+	m.GrowSymmetric([]float64{4, 5, 6})
+	want := FromRows([][]float64{
+		{1, 2, 4},
+		{2, 3, 5},
+		{4, 5, 6},
+	})
+	if d := m.MaxAbsDiff(want); d != 0 {
+		t.Fatalf("grown matrix:\n%v\nwant:\n%v", m, want)
+	}
+	if !m.IsSymmetric(0) {
+		t.Fatal("grown matrix not symmetric")
+	}
+}
+
+func TestGrowSymmetricReusesCapacity(t *testing.T) {
+	m := NewMatrix(0, 0)
+	grows := 0
+	var lastCap int
+	for n := 0; n < 64; n++ {
+		rowcol := make([]float64, n+1)
+		for j := range rowcol {
+			rowcol[j] = float64(n*100 + j)
+		}
+		m.GrowSymmetric(rowcol)
+		if cap(m.Data) != lastCap {
+			grows++
+			lastCap = cap(m.Data)
+		}
+	}
+	// Geometric growth: far fewer reallocations than appends.
+	if grows > 16 {
+		t.Fatalf("%d reallocations over 64 appends; growth is not amortised", grows)
+	}
+	// Spot-check the last row survived all the in-place moves.
+	for j := 0; j < 64; j++ {
+		if got := m.At(63, j); got != float64(6300+j) {
+			t.Fatalf("m[63][%d] = %g, want %d", j, got, 6300+j)
+		}
+	}
+}
+
+func TestGrowSymmetricPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("non-square", func() { NewMatrix(2, 3).GrowSymmetric([]float64{1, 2, 3}) })
+	check("wrong length", func() { NewMatrix(2, 2).GrowSymmetric([]float64{1}) })
+}
+
+func TestSelectSymmetric(t *testing.T) {
+	m := FromRows([][]float64{
+		{0, 1, 2, 3},
+		{1, 11, 12, 13},
+		{2, 12, 22, 23},
+		{3, 13, 23, 33},
+	})
+	got := m.SelectSymmetric([]int{0, 2, 3})
+	want := FromRows([][]float64{
+		{0, 2, 3},
+		{2, 22, 23},
+		{3, 23, 33},
+	})
+	if d := got.MaxAbsDiff(want); d != 0 {
+		t.Fatalf("submatrix:\n%v\nwant:\n%v", got, want)
+	}
+	if empty := m.SelectSymmetric(nil); empty.Rows != 0 || empty.Cols != 0 {
+		t.Fatalf("empty selection = %dx%d", empty.Rows, empty.Cols)
+	}
+	// Reordering indices permutes the matrix accordingly.
+	perm := m.SelectSymmetric([]int{3, 0})
+	if perm.At(0, 0) != 33 || perm.At(0, 1) != 3 || perm.At(1, 1) != 0 {
+		t.Fatalf("permuted selection wrong:\n%v", perm)
+	}
+}

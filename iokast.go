@@ -26,6 +26,7 @@ import (
 
 	"iokast/internal/cluster"
 	"iokast/internal/core"
+	"iokast/internal/engine"
 	"iokast/internal/iogen"
 	"iokast/internal/kernel"
 	"iokast/internal/kpca"
@@ -63,6 +64,14 @@ type (
 	KPCAResult = kpca.Result
 	// Dataset is a labelled trace collection.
 	Dataset = iogen.Dataset
+	// Engine is an incremental Gram engine: a stateful corpus whose kernel
+	// matrix is maintained under single-trace Add/Remove, paying O(N)
+	// kernel evaluations per insertion instead of a full O(N^2) recompute.
+	Engine = engine.Engine
+	// EngineOptions configure NewEngine.
+	EngineOptions = engine.Options
+	// Neighbor is one result of an Engine top-k similarity query.
+	Neighbor = engine.Neighbor
 )
 
 // Linkage strategies for hierarchical clustering.
@@ -113,6 +122,14 @@ func PaperNormalized(k *KastKernel) Kernel { return core.PaperNormalized{K: k} }
 
 // Gram computes the kernel matrix over the examples (parallelised).
 func Gram(k Kernel, xs []WeightedString) *Matrix { return kernel.Gram(k, xs) }
+
+// NewEngine returns an empty incremental Gram engine. A nil Kernel in the
+// options means the paper's default, NewKast(2). Engine.Add of each string
+// computes only the new row/column of the Gram matrix, reusing cached
+// per-string representations, and Engine.Gram / Engine.NormalizedGram
+// return snapshots matching what the batch pipeline (Gram, PaperSimilarity)
+// would compute over the same corpus.
+func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
 
 // PaperSimilarity runs the paper's full §4.1 post-processing for the Kast
 // kernel: raw Gram, Eq. 12 normalisation, and PSD repair (negative

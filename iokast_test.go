@@ -143,3 +143,38 @@ func TestGramFacade(t *testing.T) {
 		t.Fatal("gram facade wrong")
 	}
 }
+
+func TestEngineFacade(t *testing.T) {
+	ds, err := GeneratePaperDataset(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := ConvertAll(ds.Traces[:10], ConvertOptions{})
+
+	e := NewEngine(EngineOptions{Kernel: NewKast(2)})
+	for _, x := range xs {
+		e.Add(x)
+	}
+
+	// The incrementally built normalized matrix must match the batch
+	// PaperSimilarity pipeline over the same strings.
+	got, _, gotClipped, err := e.NormalizedGram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantClipped, err := PaperSimilarity(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.MaxAbsDiff(want); d > 1e-12 {
+		t.Fatalf("engine normalized gram differs from PaperSimilarity by %g", d)
+	}
+	if gotClipped != wantClipped {
+		t.Fatalf("clipped: engine %d, batch %d", gotClipped, wantClipped)
+	}
+
+	var ns []Neighbor
+	if ns, err = e.Similar(0, 3); err != nil || len(ns) != 3 {
+		t.Fatalf("Similar: %v, %v", ns, err)
+	}
+}
