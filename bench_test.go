@@ -251,6 +251,20 @@ func BenchmarkKastPair(b *testing.B) {
 	}
 }
 
+// BenchmarkKastCompare is the flat-named single-pair kernel benchmark the
+// CI regression gate tracks (length 64, the middle of BenchmarkKastPair's
+// range): one Kast evaluation end to end, per-pair preprocessing included.
+func BenchmarkKastCompare(b *testing.B) {
+	r := xrand.New(64)
+	x := randomTokens(r, 64)
+	y := randomTokens(r, 64)
+	k := &core.Kast{CutWeight: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		k.Compare(x, y)
+	}
+}
+
 // BenchmarkNaiveKastPair is the reference implementation at a size where
 // it is still usable; contrast with BenchmarkKastPair/len=16.
 func BenchmarkNaiveKastPair(b *testing.B) {

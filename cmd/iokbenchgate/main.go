@@ -1,0 +1,170 @@
+// Command iokbenchgate turns `go test -bench` text output into a compact
+// JSON summary and gates CI on benchmark regressions against a committed
+// baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime=5x -count=3 ./... | tee bench.txt
+//	iokbenchgate -in bench.txt -emit BENCH_pr.json \
+//	             -baseline BENCH_baseline.json -max-regress 0.30
+//
+// For every benchmark name (GOMAXPROCS suffix stripped) the minimum ns/op
+// across the -count repetitions is kept — the minimum is the least noisy
+// robust statistic for "how fast can this go on this machine". A
+// benchmark regresses if its PR ns/op exceeds baseline*(1+max-regress).
+// Benchmarks missing from the baseline are reported but never fail the
+// gate (new benchmarks land with the PR that introduces them; refresh the
+// baseline with -update).
+//
+// Absolute ns/op differs across machines; the committed baseline is taken
+// from the CI runner class the gate job pins (see .github/workflows). The
+// 30% default threshold plus min-of-3 absorbs normal runner jitter while
+// still catching the 2x-10x accidents regressions actually look like.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// summary is the BENCH_*.json shape: benchmark name -> min ns/op.
+type summary struct {
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches `BenchmarkName-8   	 100	  123456 ns/op	...`,
+// tolerating fractional ns/op and missing GOMAXPROCS suffixes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+func parseBench(path string) (summary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return summary{}, err
+	}
+	defer f.Close()
+	out := summary{NsPerOp: map[string]float64{}}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			continue
+		}
+		if old, ok := out.NsPerOp[m[1]]; !ok || ns < old {
+			out.NsPerOp[m[1]] = ns
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return summary{}, err
+	}
+	if len(out.NsPerOp) == 0 {
+		return summary{}, fmt.Errorf("no benchmark lines found in %s", path)
+	}
+	return out, nil
+}
+
+func writeJSON(path string, s summary) error {
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func readJSON(path string) (summary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return summary{}, err
+	}
+	var s summary
+	if err := json.Unmarshal(b, &s); err != nil {
+		return summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func main() {
+	in := flag.String("in", "", "go test -bench output to parse (required)")
+	emit := flag.String("emit", "", "write the parsed summary JSON here")
+	baseline := flag.String("baseline", "", "baseline JSON to compare against")
+	maxRegress := flag.Float64("max-regress", 0.30, "fail if ns/op exceeds baseline by more than this fraction")
+	update := flag.Bool("update", false, "rewrite the baseline from -in instead of comparing")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "iokbenchgate: -in is required")
+		os.Exit(2)
+	}
+	pr, err := parseBench(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokbenchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if *emit != "" {
+		if err := writeJSON(*emit, pr); err != nil {
+			fmt.Fprintf(os.Stderr, "iokbenchgate: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if *baseline == "" {
+		return
+	}
+	if *update {
+		if err := writeJSON(*baseline, pr); err != nil {
+			fmt.Fprintf(os.Stderr, "iokbenchgate: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("iokbenchgate: baseline %s updated with %d benchmarks\n", *baseline, len(pr.NsPerOp))
+		return
+	}
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokbenchgate: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(pr.NsPerOp))
+	for name := range pr.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		ns := pr.NsPerOp[name]
+		baseNs, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Printf("NEW      %-55s %12.0f ns/op (not in baseline)\n", name, ns)
+			continue
+		}
+		ratio := ns / baseNs
+		status := "ok"
+		if ratio > 1+*maxRegress {
+			status = "REGRESS"
+			failed = true
+		}
+		fmt.Printf("%-8s %-55s %12.0f ns/op  baseline %12.0f  (%+.1f%%)\n",
+			status, name, ns, baseNs, (ratio-1)*100)
+	}
+	for name := range base.NsPerOp {
+		if _, ok := pr.NsPerOp[name]; !ok {
+			fmt.Printf("MISSING  %-55s gone from PR run\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "iokbenchgate: ns/op regressed more than %.0f%% (or benchmarks disappeared)\n", *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("iokbenchgate: %d benchmarks within %.0f%% of baseline\n", len(names), *maxRegress*100)
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: iokast/internal/engine
+BenchmarkEngineAdd/corpus=8-8         	       5	    123456 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkEngineAdd/corpus=8-8         	       5	    120000 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkEngineAdd/corpus=8           	       5	    131072 ns/op
+BenchmarkEngineAddBatch/batch=64-4    	       5	   9.87e+06 ns/op
+BenchmarkKastCompare                  	     100	      2500.5 ns/op
+PASS
+ok  	iokast/internal/engine	1.234s
+not a bench line
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBenchMinAcrossRepsAndSuffixes(t *testing.T) {
+	s, err := parseBench(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three reps of EngineAdd/corpus=8 (two with -8 suffix, one without)
+	// collapse to one name with the minimum ns/op.
+	if got := s.NsPerOp["BenchmarkEngineAdd/corpus=8"]; got != 120000 {
+		t.Fatalf("EngineAdd min = %v, want 120000", got)
+	}
+	if got := s.NsPerOp["BenchmarkEngineAddBatch/batch=64"]; got != 9.87e6 {
+		t.Fatalf("AddBatch = %v", got)
+	}
+	if got := s.NsPerOp["BenchmarkKastCompare"]; got != 2500.5 {
+		t.Fatalf("KastCompare = %v", got)
+	}
+	if len(s.NsPerOp) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(s.NsPerOp), s.NsPerOp)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(path, []byte("PASS\nok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := parseBench(path); err == nil {
+		t.Fatal("expected error for output without benchmarks")
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	s, err := parseBench(writeSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := writeJSON(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.NsPerOp) != len(s.NsPerOp) {
+		t.Fatalf("round trip lost entries: %v vs %v", got, s)
+	}
+	for k, v := range s.NsPerOp {
+		if got.NsPerOp[k] != v {
+			t.Fatalf("%s: %v != %v", k, got.NsPerOp[k], v)
+		}
+	}
+}

@@ -1,34 +1,48 @@
 // Command iokserve runs an HTTP similarity service backed by the
-// incremental Gram engine: traces are POSTed one at a time, converted to
-// weighted strings, and inserted with one row of kernel evaluations; the
-// similarity matrix and top-k neighbour queries are served from the
-// incrementally maintained state.
+// incremental Gram engine: traces are POSTed one at a time or in batches,
+// converted to weighted strings, and inserted with one row (or block) of
+// kernel evaluations; the similarity matrix and top-k neighbour queries
+// are served from the incrementally maintained state.
+//
+// With --data-dir the engine is durable: every accepted mutation is
+// appended to a CRC-checked write-ahead log before it is acknowledged, and
+// snapshots bound replay time. A killed server restarts into a
+// bit-identical Gram matrix without clients re-sending anything.
 //
 // Usage:
 //
 //	iokserve [-addr :8080] [-kernel kast] [-cut 2] [-k 5] [-count]
-//	         [-nobytes] [-workers 0]
+//	         [-nobytes] [-workers 0] [-data-dir DIR] [-snapshot-every 1024]
+//	         [-nosync]
 //
 // Endpoints:
 //
 //	POST   /traces           body = trace text; returns {"id": n, ...}
-//	DELETE /traces/{id}      remove a trace from the corpus
+//	POST   /traces/batch     body = {"traces": ["...", ...]}; one WAL
+//	                         commit and one Gram block for the whole batch
+//	DELETE /traces/{id}      remove a trace from the corpus (durable)
 //	GET    /similar?id=&k=   top-k most similar corpus entries
 //	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
 //	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
-//	GET    /healthz          liveness probe with corpus size
+//	GET    /healthz          liveness probe; "degraded" if persistence fails
+//	GET    /debug/store      WAL/snapshot statistics (404 without --data-dir)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/store"
 )
 
 func main() {
@@ -39,6 +53,9 @@ func main() {
 	count := flag.Bool("count", false, "count occurrences instead of summing weights (baselines)")
 	noBytes := flag.Bool("nobytes", false, "ignore byte counts when converting traces")
 	workers := flag.Int("workers", 0, "max goroutines for kernel evaluation (0 = GOMAXPROCS)")
+	dataDir := flag.String("data-dir", "", "directory for WAL + snapshots; empty = in-memory only")
+	snapshotEvery := flag.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
+	noSync := flag.Bool("nosync", false, "skip fsync per WAL append (faster, loses recent writes on machine crash)")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -47,8 +64,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
 		os.Exit(2)
 	}
-	eng := engine.New(engine.Options{Kernel: kern, Workers: *workers})
-	srv := newServer(eng, core.Options{IgnoreBytes: *noBytes})
+
+	eopt := engine.Options{Kernel: kern, Workers: *workers}
+	var (
+		eng *engine.Engine
+		st  *store.Store
+	)
+	if *dataDir != "" {
+		eng, st, err = store.Open(*dataDir, func() *engine.Engine { return engine.New(eopt) },
+			store.Options{SnapshotEvery: *snapshotEvery, NoSync: *noSync})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokserve: open %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		log.Printf("iokserve: recovered %d traces (seq %d) from %s", eng.Len(), eng.Seq(), *dataDir)
+	} else {
+		eng = engine.New(eopt)
+	}
+
+	srv := newServer(eng, st, core.Options{IgnoreBytes: *noBytes})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	done := make(chan struct{})
+	if st != nil {
+		// Checkpoint on SIGINT/SIGTERM so the next boot restores from the
+		// snapshot instead of replaying the whole WAL. The HTTP server is
+		// drained first: a mutation acknowledged mid-shutdown must still
+		// be inside the final checkpoint, not committed after the log was
+		// detached. A SIGKILL skips this path by definition — that is
+		// what the WAL is for.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sig
+			log.Printf("iokserve: draining connections")
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := httpSrv.Shutdown(ctx); err != nil {
+				log.Printf("iokserve: drain incomplete: %v", err)
+			}
+			log.Printf("iokserve: checkpointing %s", *dataDir)
+			if err := st.Close(); err != nil {
+				log.Printf("iokserve: checkpoint failed: %v", err)
+			}
+			close(done)
+		}()
+	}
+
 	log.Printf("iokserve: kernel %s, listening on %s", kern.Name(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-done
 }

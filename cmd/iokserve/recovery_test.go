@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/store"
+)
+
+// durableServer opens a server over dir with automatic snapshots disabled,
+// so tests control exactly what is in the WAL vs the snapshot.
+func durableServer(t *testing.T, dir string) (*server, *store.Store) {
+	t.Helper()
+	eopt := engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2}
+	eng, st, err := store.Open(dir, func() *engine.Engine { return engine.New(eopt) },
+		store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newServer(eng, st, core.Options{}), st
+}
+
+func batchBody(traces ...string) string {
+	b, _ := json.Marshal(map[string]any{"traces": traces})
+	return string(b)
+}
+
+// TestServeBatchEndpoint exercises POST /traces/batch: ids are assigned in
+// order, the response carries per-trace metadata, and a bad trace rejects
+// the whole batch without ingesting anything.
+func TestServeBatchEndpoint(t *testing.T) {
+	s := testServer()
+	resp := doJSON(t, s, http.MethodPost, "/traces/batch", batchBody(traceA, traceB, traceA), http.StatusCreated)
+	if resp["count"].(float64) != 3 {
+		t.Fatalf("count = %v", resp["count"])
+	}
+	metas := resp["traces"].([]any)
+	for i, m := range metas {
+		meta := m.(map[string]any)
+		if int(meta["id"].(float64)) != i {
+			t.Fatalf("batch meta %d: id %v", i, meta["id"])
+		}
+		if meta["tokens"].(float64) <= 0 {
+			t.Fatalf("batch meta %d: tokens %v", i, meta["tokens"])
+		}
+	}
+	if name := metas[1].(map[string]any)["name"]; name != "seekerB" {
+		t.Fatalf("batch meta name = %v", name)
+	}
+
+	// All-or-nothing: one bad trace fails the batch, corpus unchanged.
+	doJSON(t, s, http.MethodPost, "/traces/batch", batchBody(traceA, "not a trace"), http.StatusBadRequest)
+	resp = doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != 3 {
+		t.Fatalf("traces = %v after rejected batch, want 3", n)
+	}
+
+	doJSON(t, s, http.MethodPost, "/traces/batch", `{"traces": []}`, http.StatusBadRequest)
+	doJSON(t, s, http.MethodPost, "/traces/batch", `{`, http.StatusBadRequest)
+	doJSON(t, s, http.MethodGet, "/traces/batch", "", http.StatusMethodNotAllowed)
+}
+
+// TestServeCrashRecovery is the end-to-end durability test: ingest over
+// HTTP (singles, a batch, a delete), kill the server without any snapshot
+// of the ingested data (WAL only), restart over the same directory, and
+// require the exact same /gram and /similar responses.
+func TestServeCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := durableServer(t, dir)
+
+	doJSON(t, s1, http.MethodPost, "/traces", traceA, http.StatusCreated)
+	doJSON(t, s1, http.MethodPost, "/traces/batch", batchBody(traceB, traceA, traceB), http.StatusCreated)
+	doJSON(t, s1, http.MethodPost, "/traces", traceB, http.StatusCreated)
+	doJSON(t, s1, http.MethodDelete, "/traces/2", "", http.StatusOK)
+
+	gramBefore := doJSON(t, s1, http.MethodGet, "/gram", "", http.StatusOK)
+	normBefore := doJSON(t, s1, http.MethodGet, "/gram?normalized=1", "", http.StatusOK)
+	simBefore := doJSON(t, s1, http.MethodGet, "/similar?id=0&k=3", "", http.StatusOK)
+	// Kill: the store is abandoned without Close — no snapshot holds the
+	// ingested traces, recovery is WAL replay alone.
+
+	s2, st2 := durableServer(t, dir)
+	defer st2.Close()
+	gramAfter := doJSON(t, s2, http.MethodGet, "/gram", "", http.StatusOK)
+	normAfter := doJSON(t, s2, http.MethodGet, "/gram?normalized=1", "", http.StatusOK)
+	simAfter := doJSON(t, s2, http.MethodGet, "/similar?id=0&k=3", "", http.StatusOK)
+
+	if !reflect.DeepEqual(gramBefore, gramAfter) {
+		t.Fatalf("raw gram changed across restart:\nbefore %v\nafter  %v", gramBefore, gramAfter)
+	}
+	if !reflect.DeepEqual(normBefore, normAfter) {
+		t.Fatalf("normalized gram changed across restart:\nbefore %v\nafter  %v", normBefore, normAfter)
+	}
+	if !reflect.DeepEqual(simBefore, simAfter) {
+		t.Fatalf("similar changed across restart:\nbefore %v\nafter  %v", simBefore, simAfter)
+	}
+	// The delete must have survived too.
+	doJSON(t, s2, http.MethodDelete, "/traces/2", "", http.StatusNotFound)
+	resp := doJSON(t, s2, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != 4 {
+		t.Fatalf("recovered traces = %v, want 4", n)
+	}
+}
+
+// TestServeDebugStore covers GET /debug/store with and without a store.
+func TestServeDebugStore(t *testing.T) {
+	noStore := testServer()
+	doJSON(t, noStore, http.MethodGet, "/debug/store", "", http.StatusNotFound)
+
+	dir := t.TempDir()
+	s, st := durableServer(t, dir)
+	defer st.Close()
+	doJSON(t, s, http.MethodPost, "/traces", traceA, http.StatusCreated)
+	resp := doJSON(t, s, http.MethodGet, "/debug/store", "", http.StatusOK)
+	if resp["dir"] != dir {
+		t.Fatalf("stats dir = %v", resp["dir"])
+	}
+	if resp["seq"].(float64) != 1 || resp["appended_records"].(float64) != 1 {
+		t.Fatalf("stats = %v", resp)
+	}
+	doJSON(t, s, http.MethodPost, "/debug/store", "", http.StatusMethodNotAllowed)
+}
+
+// TestServeBatchTooLarge: an oversized trace count is rejected up front.
+func TestServeBatchTooLarge(t *testing.T) {
+	s := testServer()
+	traces := make([]string, maxBatchTraces+1)
+	for i := range traces {
+		traces[i] = "open fh=1\nclose fh=1"
+	}
+	body, _ := json.Marshal(map[string]any{"traces": traces})
+	r := httptest.NewRequest(http.MethodPost, "/traces/batch", strings.NewReader(string(body)))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", w.Code)
+	}
+}

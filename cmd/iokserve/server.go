@@ -11,6 +11,8 @@ import (
 	"iokast/internal/core"
 	"iokast/internal/engine"
 	"iokast/internal/linalg"
+	"iokast/internal/store"
+	"iokast/internal/token"
 	"iokast/internal/trace"
 )
 
@@ -18,21 +20,31 @@ import (
 // this size is far beyond anything the pipeline is tuned for.
 const maxTraceBody = 16 << 20
 
+// maxBatchBody bounds a POST /traces/batch request.
+const maxBatchBody = 64 << 20
+
+// maxBatchTraces bounds how many traces one batch may carry; bigger
+// ingests should be split, which also bounds single-record WAL frames.
+const maxBatchTraces = 4096
+
 // server routes HTTP requests onto one shared engine. Concurrency control
 // lives entirely in the engine; handlers hold no state of their own.
 type server struct {
 	eng  *engine.Engine
+	st   *store.Store // nil when running without --data-dir
 	copt core.Options
 	mux  *http.ServeMux
 }
 
-func newServer(eng *engine.Engine, copt core.Options) *server {
-	s := &server{eng: eng, copt: copt, mux: http.NewServeMux()}
+func newServer(eng *engine.Engine, st *store.Store, copt core.Options) *server {
+	s := &server{eng: eng, st: st, copt: copt, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/traces", s.handleTraces)
+	s.mux.HandleFunc("/traces/batch", s.handleTracesBatch)
 	s.mux.HandleFunc("/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/similar", s.handleSimilar)
 	s.mux.HandleFunc("/gram", s.handleGram)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
 	return s
 }
 
@@ -59,11 +71,89 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 	x := core.Convert(tr, s.copt)
 	id := s.eng.Add(x)
+	if err := s.eng.Err(); err != nil {
+		// Ingested in memory but not persisted: tell the client instead of
+		// silently serving state a restart would lose.
+		httpError(w, http.StatusInternalServerError, "trace %d accepted but persistence failed: %v", id, err)
+		return
+	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"id":     id,
 		"name":   tr.Name,
 		"tokens": len(x),
 		"weight": x.Weight(),
+	})
+}
+
+// batchRequest is the POST /traces/batch body: each element is one trace
+// in the canonical text format, exactly as POST /traces accepts.
+type batchRequest struct {
+	Traces []string `json:"traces"`
+}
+
+func (s *server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, `POST {"traces": ["<trace text>", ...]}`)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(body) > maxBatchBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", maxBatchBody)
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "parse batch JSON: %v", err)
+		return
+	}
+	if len(req.Traces) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Traces) > maxBatchTraces {
+		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d traces exceeds limit %d", len(req.Traces), maxBatchTraces)
+		return
+	}
+	// Parse everything before ingesting anything: a batch is all-or-nothing
+	// at the validation stage, so one bad trace cannot half-apply it.
+	xs := make([]token.String, len(req.Traces))
+	type meta struct {
+		ID     int    `json:"id"`
+		Name   string `json:"name,omitempty"`
+		Tokens int    `json:"tokens"`
+		Weight int    `json:"weight"`
+	}
+	metas := make([]meta, len(req.Traces))
+	for i, text := range req.Traces {
+		tr, err := trace.ParseString(text)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "trace %d: %v", i, err)
+			return
+		}
+		xs[i] = core.Convert(tr, s.copt)
+		metas[i] = meta{Name: tr.Name, Tokens: len(xs[i]), Weight: xs[i].Weight()}
+	}
+	ids, err := s.eng.AddBatch(xs)
+	if err == nil {
+		// Also honour the sticky error: after any earlier WAL failure the
+		// log has a gap, so even a batch whose own append succeeded is not
+		// recoverable and must not be acknowledged as durable.
+		err = s.eng.Err()
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "batch accepted but persistence failed: %v", err)
+		return
+	}
+	for i, id := range ids {
+		metas[i].ID = id
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"count":  len(ids),
+		"traces": metas,
 	})
 }
 
@@ -143,7 +233,28 @@ func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "traces": s.eng.Len()})
+	resp := map[string]any{"status": "ok", "traces": s.eng.Len()}
+	status := http.StatusOK
+	if err := s.eng.Err(); err != nil {
+		// Still serving, but mutations are no longer reaching the WAL:
+		// degraded, so orchestrators can rotate the instance out.
+		resp["status"] = "degraded"
+		resp["persistence_error"] = err.Error()
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET /debug/store")
+		return
+	}
+	if s.st == nil {
+		httpError(w, http.StatusNotFound, "no store attached (run with --data-dir)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.st.Stats())
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

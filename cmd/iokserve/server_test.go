@@ -31,7 +31,7 @@ close fh=1
 
 func testServer() *server {
 	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2})
-	return newServer(eng, core.Options{})
+	return newServer(eng, nil, core.Options{})
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int) map[string]any {

@@ -62,6 +62,47 @@ func BenchmarkBatchGramRebuild(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineAddBatch measures ingesting a batch of n traces into an
+// empty engine in one AddBatch call. Contrast with
+// BenchmarkEngineSequentialAdds: identical kernel work (the same
+// n(n+1)/2 evaluations), but one representation fan-out, one flat
+// ParallelFor over every pair, and one symmetric block growth instead of n
+// row growths. On a durable engine (internal/store's benchmarks) the gap
+// widens further: one WAL record and one fsync per batch instead of n.
+func BenchmarkEngineAddBatch(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			xs := benchCorpus(n, 40)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+				if _, err := e.AddBatch(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineSequentialAdds is the one-at-a-time alternative to
+// BenchmarkEngineAddBatch over the same traces.
+func BenchmarkEngineSequentialAdds(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			xs := benchCorpus(n, 40)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+				for _, x := range xs {
+					e.Add(x)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEngineSimilar measures a top-k query against a warm corpus.
 func BenchmarkEngineSimilar(b *testing.B) {
 	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})

@@ -40,6 +40,26 @@ type Options struct {
 	// recomputes; <= 0 means GOMAXPROCS. The same bound is shared with
 	// kernel.ParallelFor, so one setting caps all kernel fan-out.
 	Workers int
+	// Log, when non-nil, receives every accepted mutation (Add, AddBatch,
+	// Remove) before it is applied, under the engine's write lock, so the
+	// log order matches the id order. internal/store implements it as a
+	// write-ahead log. See SetLog for attaching a log after recovery.
+	Log Log
+}
+
+// Log receives engine mutations for durability. Implementations must be
+// safe for concurrent use; calls arrive serialised under the engine's write
+// lock and must be fast (append + flush, not compaction). An error does not
+// abort the in-memory mutation — the engine keeps serving and surfaces the
+// failure through Err — so a log error means "persistence degraded", not
+// "data rejected".
+type Log interface {
+	// LogAdd records the insertion of x as id.
+	LogAdd(id int, x token.String) error
+	// LogAddBatch records the insertion of xs as ids firstID..firstID+len-1.
+	LogAddBatch(firstID int, xs []token.String) error
+	// LogRemove records the tombstoning of id.
+	LogRemove(id int) error
 }
 
 // Engine is an incremental Gram engine. The zero value is not usable; use
@@ -55,6 +75,9 @@ type Engine struct {
 	entries []*entry       // index = id; nil after Remove
 	g       *linalg.Matrix // raw kernel matrix over all ids, removed rows stale
 	active  int
+	seq     uint64 // accepted mutations (adds + removes), the WAL sequence
+	log     Log    // mutation log, nil for a purely in-memory engine
+	logErr  error  // sticky: first log failure, surfaced by Err
 }
 
 // entry caches one corpus string and its per-string representation.
@@ -80,6 +103,7 @@ func New(opt Options) *Engine {
 		k:       k,
 		workers: opt.Workers,
 		g:       linalg.NewMatrix(0, 0),
+		log:     opt.Log,
 	}
 	if kk, ok := k.(*core.Kast); ok {
 		e.kast = kk
@@ -105,19 +129,9 @@ func (e *Engine) Len() int {
 // Gram matrix is computed: one kernel evaluation against each live entry
 // plus the self-similarity, tile-parallel over the worker pool.
 func (e *Engine) Add(x token.String) int {
-	ne := &entry{x: x}
 	// Per-string representations are built outside the write lock where
 	// possible; the interner is internally synchronised.
-	if e.kast != nil {
-		ne.prep = e.interner.Prepare(x)
-		ne.x = ne.prep.String() // aliases the interner's defensive copy
-	} else if e.featured {
-		f, _ := kernel.Features(e.k, x)
-		ne.feats = f
-		ne.x = append(token.String(nil), x...)
-	} else {
-		ne.x = append(token.String(nil), x...)
-	}
+	ne := e.newEntry(x)
 
 	// The O(N) row of kernel evaluations runs against a snapshot of the
 	// entry slice taken under the read lock, so concurrent readers (and
@@ -145,10 +159,120 @@ func (e *Engine) Add(x token.String) int {
 	}
 	rowcol[n] = self
 
+	if e.log != nil {
+		if err := e.log.LogAdd(n, ne.x); err != nil && e.logErr == nil {
+			e.logErr = fmt.Errorf("engine: log add %d: %w", n, err)
+		}
+	}
 	e.g.GrowSymmetric(rowcol)
 	e.entries = append(e.entries, ne)
 	e.active++
+	e.seq++
 	return n
+}
+
+// AddBatch inserts m strings in one step and returns their ids, which are
+// consecutive. It evaluates exactly the kernel values m sequential Adds
+// would (the new-vs-existing rows plus the new-vs-new triangle) but fans
+// all of them out in a single kernel.ParallelFor — one scheduling barrier
+// instead of m, so small rows no longer starve the worker pool — and
+// commits with a single linalg.GrowSymmetricBlock and a single log record
+// instead of m row growths and m log appends. On a durable engine the log
+// batching dominates: one fsync per batch rather than per trace.
+//
+// The returned error is a persistence error from the attached Log; the
+// in-memory insertion has still happened (see Log).
+func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
+	m := len(xs)
+	if m == 0 {
+		return nil, nil
+	}
+	nes := make([]*entry, m)
+	kernel.ParallelFor(m, e.workers, func(i int) { nes[i] = e.newEntry(xs[i]) })
+
+	e.mu.RLock()
+	snap := append([]*entry(nil), e.entries...)
+	e.mu.RUnlock()
+
+	// One flat index space covers both the rows against the existing
+	// corpus and the lower triangle among the new entries, so
+	// load-balancing works across the whole batch. Row t owns the n+t+1
+	// evaluations starting at off[t]; a task decodes its (t, j) by binary
+	// search over the offsets, which keeps the fan-out allocation at O(m)
+	// instead of materialising every pair.
+	n := len(snap)
+	rows := make([][]float64, m)
+	off := make([]int, m+1)
+	for t := 0; t < m; t++ {
+		rows[t] = make([]float64, n+t+1)
+		off[t+1] = off[t] + n + t + 1
+	}
+	kernel.ParallelFor(off[m], e.workers, func(p int) {
+		t := sort.SearchInts(off, p+1) - 1
+		j := p - off[t]
+		if j < n {
+			if old := snap[j]; old != nil {
+				rows[t][j] = e.compare(nes[t], old)
+			}
+			return
+		}
+		rows[t][j] = e.compare(nes[t], nes[j-n])
+	})
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if base := len(e.entries); base > n {
+		// Entries added between snapshot and lock: widen every row and fill
+		// the short tail under the write lock, as Add does.
+		for t := range rows {
+			widened := make([]float64, base+t+1)
+			copy(widened, rows[t][:n])
+			copy(widened[base:], rows[t][n:])
+			copy(widened[n:base], e.compareRow(nes[t], e.entries[n:base]))
+			rows[t] = widened
+		}
+	}
+	first := len(e.entries)
+	ids := make([]int, m)
+	for t := range ids {
+		ids[t] = first + t
+	}
+	var logErr error
+	if e.log != nil {
+		strs := make([]token.String, m)
+		for t, ne := range nes {
+			strs[t] = ne.x
+		}
+		if logErr = e.log.LogAddBatch(first, strs); logErr != nil {
+			logErr = fmt.Errorf("engine: log batch at %d: %w", first, logErr)
+			if e.logErr == nil {
+				e.logErr = logErr
+			}
+		}
+	}
+	e.g.GrowSymmetricBlock(rows)
+	e.entries = append(e.entries, nes...)
+	e.active += m
+	e.seq += uint64(m)
+	return ids, logErr
+}
+
+// newEntry builds the cached per-string representation for x. Safe for
+// concurrent use.
+func (e *Engine) newEntry(x token.String) *entry {
+	ne := &entry{}
+	switch {
+	case e.kast != nil:
+		ne.prep = e.interner.Prepare(x)
+		ne.x = ne.prep.String() // aliases the interner's defensive copy
+	case e.featured:
+		f, _ := kernel.Features(e.k, x)
+		ne.feats = f
+		ne.x = append(token.String(nil), x...)
+	default:
+		ne.x = append(token.String(nil), x...)
+	}
+	return ne
 }
 
 // compareRow evaluates the kernel of ne against each entry, fanned out over
@@ -190,9 +314,50 @@ func (e *Engine) Remove(id int) error {
 	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
 		return fmt.Errorf("engine: no entry with id %d", id)
 	}
+	if e.log != nil {
+		if err := e.log.LogRemove(id); err != nil && e.logErr == nil {
+			e.logErr = fmt.Errorf("engine: log remove %d: %w", id, err)
+		}
+	}
 	e.entries[id] = nil
 	e.active--
+	e.seq++
 	return nil
+}
+
+// SetLog attaches (or replaces, or with nil detaches) the mutation log.
+// internal/store uses it to attach the write-ahead log only after recovery
+// replay, so replayed mutations are not re-logged.
+func (e *Engine) SetLog(l Log) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.log = l
+}
+
+// Seq returns the number of mutations (adds and removes) the engine has
+// accepted, including those replayed from a snapshot or log. It is the
+// engine's position in the write-ahead log.
+func (e *Engine) Seq() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.seq
+}
+
+// NextID returns the id the next Add would assign.
+func (e *Engine) NextID() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.entries)
+}
+
+// Err returns the first mutation-log failure, or nil. A non-nil value means
+// the in-memory state has diverged from the durable log: the engine keeps
+// serving, but a restart would lose the mutations logged after the failure.
+// Callers that need fail-stop semantics should check Err after mutating.
+func (e *Engine) Err() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.logErr
 }
 
 // ids returns the live ids in increasing order. Caller must hold e.mu.

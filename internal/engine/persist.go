@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+
+	"iokast/internal/matrixio"
+	"iokast/internal/token"
+)
+
+// Snapshot format: a self-describing, CRC-checked dump of the engine state
+// that Restore rebuilds bit-identically. The Gram matrix is persisted as
+// raw float64 bits (matrixio's binary symmetric triangle), not recomputed,
+// so a restored engine serves exactly the matrix the snapshotted one did —
+// including the stale rows of tombstoned ids, which replayed mutations may
+// index past but never read.
+//
+// Layout:
+//
+//	magic    "IOKSNAP1" (8 bytes)
+//	version  byte (= 1)
+//	kernel   uvarint length + kernel.Name() bytes (checked on restore)
+//	seq      uint64 little-endian, mutations applied at capture
+//	numIDs   uvarint, total ids ever assigned (matrix dimension)
+//	active   uvarint, live (non-tombstoned) ids
+//	entries  per id: flag byte 0 (tombstone) or 1 (live);
+//	         if live: uvarint length + canonical token text (token.Parse)
+//	crc      uint32 little-endian, CRC-32C over everything above
+//	triangle matrixio.WriteSymmetricTriangle of the raw Gram matrix
+//	         (own magic and CRC; must be last, the triangle reader may
+//	         buffer to end-of-stream)
+const snapshotMagic = "IOKSNAP1"
+
+const snapshotVersion = 1
+
+var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot writes the engine state to w and returns the sequence number it
+// captured (the value Seq() held for the duration of the dump — snapshots
+// are consistent cuts, taken under the read lock). It blocks mutations on
+// large corpora; callers that care should snapshot to an in-memory buffer
+// or a fast local file.
+func (e *Engine) Snapshot(w io.Writer) (uint64, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := e.snapshotLocked(w); err != nil {
+		return 0, err
+	}
+	return e.seq, nil
+}
+
+func (e *Engine) snapshotLocked(w io.Writer) error {
+
+	crc := crc32.New(snapCRCTable)
+	bw := bufio.NewWriter(w)
+	cw := io.MultiWriter(bw, crc)
+
+	var scratch [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := cw.Write(scratch[:n])
+		return err
+	}
+
+	if _, err := io.WriteString(cw, snapshotMagic); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if _, err := cw.Write([]byte{snapshotVersion}); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	name := e.k.Name()
+	if err := writeUvarint(uint64(len(name))); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if _, err := io.WriteString(cw, name); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], e.seq)
+	if _, err := cw.Write(scratch[:8]); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := writeUvarint(uint64(len(e.entries))); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := writeUvarint(uint64(e.active)); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	for id, en := range e.entries {
+		if en == nil {
+			if _, err := cw.Write([]byte{0}); err != nil {
+				return fmt.Errorf("engine: snapshot: %w", err)
+			}
+			continue
+		}
+		if _, err := cw.Write([]byte{1}); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		text := en.x.Format()
+		if err := writeUvarint(uint64(len(text))); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		if _, err := io.WriteString(cw, text); err != nil {
+			return fmt.Errorf("engine: snapshot entry %d: %w", id, err)
+		}
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := bw.Write(scratch[:4]); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if err := matrixio.WriteSymmetricTriangle(w, e.g); err != nil {
+		return fmt.Errorf("engine: snapshot matrix: %w", err)
+	}
+	return nil
+}
+
+// crcByteReader feeds every consumed byte into a CRC, so the checksum
+// covers exactly the payload regardless of read-ahead.
+type crcByteReader struct {
+	r   *bufio.Reader
+	crc hash.Hash32
+}
+
+func (c *crcByteReader) ReadByte() (byte, error) {
+	b, err := c.r.ReadByte()
+	if err == nil {
+		c.crc.Write([]byte{b})
+	}
+	return b, err
+}
+
+func (c *crcByteReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc.Write(p[:n])
+	return n, err
+}
+
+// maxSnapshotEntry bounds a single entry's canonical text so a corrupted
+// length cannot force a huge allocation before the CRC check.
+const maxSnapshotEntry = 64 << 20
+
+// Restore loads a snapshot written by Snapshot into an empty engine
+// configured with the same kernel. Per-string representations (feature
+// maps, interned Kast views) are rebuilt from the canonical strings; the
+// Gram matrix is restored from its persisted bits.
+func (e *Engine) Restore(r io.Reader) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.entries) != 0 {
+		return fmt.Errorf("engine: Restore into non-empty engine (%d ids)", len(e.entries))
+	}
+
+	br := bufio.NewReader(r)
+	cr := &crcByteReader{r: br, crc: crc32.New(snapCRCTable)}
+
+	head := make([]byte, len(snapshotMagic)+1)
+	if _, err := io.ReadFull(cr, head); err != nil {
+		return fmt.Errorf("engine: restore header: %w", err)
+	}
+	if string(head[:len(snapshotMagic)]) != snapshotMagic {
+		return fmt.Errorf("engine: bad snapshot magic %q", head[:len(snapshotMagic)])
+	}
+	if v := head[len(snapshotMagic)]; v != snapshotVersion {
+		return fmt.Errorf("engine: unsupported snapshot version %d", v)
+	}
+	nameLen, err := binary.ReadUvarint(cr)
+	if err != nil || nameLen > 1024 {
+		return fmt.Errorf("engine: restore kernel name length: %v", err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(cr, nameBuf); err != nil {
+		return fmt.Errorf("engine: restore kernel name: %w", err)
+	}
+	if got, want := string(nameBuf), e.k.Name(); got != want {
+		return fmt.Errorf("engine: snapshot kernel %q does not match engine kernel %q", got, want)
+	}
+	var seqBuf [8]byte
+	if _, err := io.ReadFull(cr, seqBuf[:]); err != nil {
+		return fmt.Errorf("engine: restore seq: %w", err)
+	}
+	seq := binary.LittleEndian.Uint64(seqBuf[:])
+	numIDs, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return fmt.Errorf("engine: restore id count: %w", err)
+	}
+	active, err := binary.ReadUvarint(cr)
+	if err != nil {
+		return fmt.Errorf("engine: restore active count: %w", err)
+	}
+	// 1<<20 matches matrixio's triangle dimension limit, so a corrupted
+	// count is rejected here before the entry slice is allocated.
+	if active > numIDs || numIDs > 1<<20 {
+		return fmt.Errorf("engine: implausible snapshot counts: %d active of %d ids", active, numIDs)
+	}
+
+	entries := make([]*entry, numIDs)
+	gotActive := 0
+	for id := range entries {
+		flag, err := cr.ReadByte()
+		if err != nil {
+			return fmt.Errorf("engine: restore entry %d: %w", id, err)
+		}
+		switch flag {
+		case 0:
+			continue
+		case 1:
+		default:
+			return fmt.Errorf("engine: restore entry %d: bad flag %d", id, flag)
+		}
+		textLen, err := binary.ReadUvarint(cr)
+		if err != nil || textLen > maxSnapshotEntry {
+			return fmt.Errorf("engine: restore entry %d length: %v", id, err)
+		}
+		text := make([]byte, textLen)
+		if _, err := io.ReadFull(cr, text); err != nil {
+			return fmt.Errorf("engine: restore entry %d: %w", id, err)
+		}
+		x, err := token.Parse(string(text))
+		if err != nil {
+			return fmt.Errorf("engine: restore entry %d: %w", id, err)
+		}
+		entries[id] = e.newEntry(x)
+		gotActive++
+	}
+	if gotActive != int(active) {
+		return fmt.Errorf("engine: snapshot claims %d live entries, found %d", active, gotActive)
+	}
+	sum := cr.crc.Sum32()
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+		return fmt.Errorf("engine: restore crc: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != sum {
+		return fmt.Errorf("engine: snapshot crc mismatch: stored %08x, computed %08x", got, sum)
+	}
+
+	// numIDs is trustworthy here — the entries section it was read with
+	// just passed its CRC — so it bounds the triangle allocation exactly.
+	g, err := matrixio.ReadSymmetricTriangleMax(br, int(numIDs))
+	if err != nil {
+		return fmt.Errorf("engine: restore matrix: %w", err)
+	}
+	if g.Rows != int(numIDs) {
+		return fmt.Errorf("engine: snapshot matrix is %dx%d for %d ids", g.Rows, g.Cols, numIDs)
+	}
+
+	e.entries = entries
+	e.g = g
+	e.active = gotActive
+	e.seq = seq
+	return nil
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/kernel"
+	"iokast/internal/token"
+)
+
+// TestAddBatchMatchesSequential: a batch insert must leave the engine in
+// exactly the state m sequential Adds would — same ids, bitwise-equal Gram
+// matrix — for both the Kast and the featured-kernel paths.
+func TestAddBatchMatchesSequential(t *testing.T) {
+	xs := corpus(t, 24, 11)
+	for _, kern := range []kernel.Kernel{
+		&core.Kast{CutWeight: 2},
+		&kernel.Spectrum{K: 3, Mode: kernel.Count, CutWeight: 2},
+	} {
+		seqEng := New(Options{Kernel: kern})
+		for _, x := range xs {
+			seqEng.Add(x)
+		}
+		batchEng := New(Options{Kernel: kern})
+		// Split across three batches, with a plain Add in between.
+		if ids, err := batchEng.AddBatch(xs[:10]); err != nil || len(ids) != 10 || ids[0] != 0 || ids[9] != 9 {
+			t.Fatalf("%s: first batch ids %v err %v", kern.Name(), ids, err)
+		}
+		if id := batchEng.Add(xs[10]); id != 10 {
+			t.Fatalf("%s: interleaved Add id %d", kern.Name(), id)
+		}
+		if ids, err := batchEng.AddBatch(xs[11:]); err != nil || len(ids) != 13 || ids[0] != 11 {
+			t.Fatalf("%s: second batch ids %v err %v", kern.Name(), ids, err)
+		}
+		gs, _ := seqEng.Gram()
+		gb, idsB := batchEng.Gram()
+		if len(idsB) != len(xs) {
+			t.Fatalf("%s: %d ids after batches, want %d", kern.Name(), len(idsB), len(xs))
+		}
+		if d := gs.MaxAbsDiff(gb); d != 0 {
+			t.Errorf("%s: batch Gram differs from sequential by %g", kern.Name(), d)
+		}
+	}
+}
+
+// TestAddBatchEmptyAndAfterRemove covers the edge cases: empty batch is a
+// no-op; a batch after a removal compares only against live entries.
+func TestAddBatchEmptyAndAfterRemove(t *testing.T) {
+	xs := corpus(t, 8, 5)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	if ids, err := e.AddBatch(nil); err != nil || ids != nil {
+		t.Fatalf("empty batch: ids %v err %v", ids, err)
+	}
+	if _, err := e.AddBatch(xs[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddBatch(xs[4:]); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: sequential engine with the same history.
+	ref := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	for _, x := range xs[:4] {
+		ref.Add(x)
+	}
+	if err := ref.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[4:] {
+		ref.Add(x)
+	}
+	got, gotIDs := e.Gram()
+	want, wantIDs := ref.Gram()
+	if len(gotIDs) != len(wantIDs) || len(gotIDs) != 7 {
+		t.Fatalf("ids %v vs %v", gotIDs, wantIDs)
+	}
+	if d := got.MaxAbsDiff(want); d != 0 {
+		t.Errorf("post-remove batch Gram differs by %g", d)
+	}
+}
+
+// TestSnapshotRestoreRoundTrip: a restored engine must serve bit-identical
+// state — Gram, ids, tombstones, similarity queries, seq — and accept
+// further mutations that match the original engine's behaviour.
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	xs := corpus(t, 16, 9)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	for _, x := range xs[:12] {
+		e.Add(x)
+	}
+	if err := e.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if _, err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	if err := r.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	if r.Seq() != e.Seq() || r.Len() != e.Len() || r.NextID() != e.NextID() {
+		t.Fatalf("restored seq/len/next = %d/%d/%d, want %d/%d/%d",
+			r.Seq(), r.Len(), r.NextID(), e.Seq(), e.Len(), e.NextID())
+	}
+	ge, idsE := e.Gram()
+	gr, idsR := r.Gram()
+	if len(idsE) != len(idsR) {
+		t.Fatalf("restored ids %v, want %v", idsR, idsE)
+	}
+	for i := range idsE {
+		if idsE[i] != idsR[i] {
+			t.Fatalf("restored ids %v, want %v", idsR, idsE)
+		}
+	}
+	if d := ge.MaxAbsDiff(gr); d != 0 {
+		t.Errorf("restored Gram differs by %g (must be bit-identical)", d)
+	}
+
+	// Both engines must evolve identically after the snapshot point.
+	for _, x := range xs[12:] {
+		if ide, idr := e.Add(x), r.Add(x); ide != idr {
+			t.Fatalf("post-restore Add ids diverge: %d vs %d", ide, idr)
+		}
+	}
+	ge, _ = e.Gram()
+	gr, _ = r.Gram()
+	if d := ge.MaxAbsDiff(gr); d != 0 {
+		t.Errorf("post-restore Gram differs by %g", d)
+	}
+	ne, err := e.Similar(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := r.Similar(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ne {
+		if ne[i] != nr[i] {
+			t.Fatalf("restored Similar diverges at %d: %v vs %v", i, nr[i], ne[i])
+		}
+	}
+}
+
+// TestRestoreRejects covers the failure paths: non-empty engine, kernel
+// mismatch, and corruption anywhere in the stream.
+func TestRestoreRejects(t *testing.T) {
+	xs := corpus(t, 6, 2)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	for _, x := range xs {
+		e.Add(x)
+	}
+	var buf bytes.Buffer
+	if _, err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	full := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	full.Add(xs[0])
+	if err := full.Restore(bytes.NewReader(good)); err == nil {
+		t.Error("Restore into non-empty engine did not fail")
+	}
+
+	other := New(Options{Kernel: &kernel.Spectrum{K: 3, Mode: kernel.Count, CutWeight: 2}})
+	if err := other.Restore(bytes.NewReader(good)); err == nil {
+		t.Error("Restore with mismatched kernel did not fail")
+	}
+
+	for pos := 0; pos < len(good); pos += 11 {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x20
+		fresh := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+		if err := fresh.Restore(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at byte %d not detected", pos)
+		}
+	}
+	for cut := 0; cut < len(good); cut += 7 {
+		fresh := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+		if err := fresh.Restore(bytes.NewReader(good[:cut])); err == nil {
+			t.Errorf("truncation at %d bytes not detected", cut)
+		}
+	}
+}
+
+// recordingLog captures Log calls for inspection and optionally fails.
+type recordingLog struct {
+	adds    []int
+	batches []int
+	removes []int
+	fail    error
+}
+
+func (l *recordingLog) LogAdd(id int, x token.String) error {
+	l.adds = append(l.adds, id)
+	return l.fail
+}
+
+func (l *recordingLog) LogAddBatch(firstID int, xs []token.String) error {
+	l.batches = append(l.batches, firstID, len(xs))
+	return l.fail
+}
+
+func (l *recordingLog) LogRemove(id int) error {
+	l.removes = append(l.removes, id)
+	return l.fail
+}
+
+// TestLogHook: every accepted mutation reaches the log with the right ids;
+// log failures are sticky in Err but do not block serving.
+func TestLogHook(t *testing.T) {
+	xs := corpus(t, 6, 3)
+	log := &recordingLog{}
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}, Log: log})
+	e.Add(xs[0])
+	if _, err := e.AddBatch(xs[1:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(99); err == nil {
+		t.Fatal("Remove of unknown id did not fail")
+	}
+	if len(log.adds) != 1 || log.adds[0] != 0 {
+		t.Errorf("logged adds %v", log.adds)
+	}
+	if len(log.batches) != 2 || log.batches[0] != 1 || log.batches[1] != 3 {
+		t.Errorf("logged batches %v", log.batches)
+	}
+	if len(log.removes) != 1 || log.removes[0] != 2 {
+		t.Errorf("logged removes %v (the failed Remove must not be logged)", log.removes)
+	}
+	if e.Seq() != 5 {
+		t.Errorf("seq = %d, want 5", e.Seq())
+	}
+	if e.Err() != nil {
+		t.Fatalf("unexpected engine error %v", e.Err())
+	}
+
+	log.fail = bytes.ErrTooLarge
+	if id := e.Add(xs[4]); id != 4 {
+		t.Fatalf("Add after log failure returned %d", id)
+	}
+	if e.Err() == nil {
+		t.Fatal("log failure not surfaced via Err")
+	}
+	if e.Len() != 4 {
+		t.Fatalf("Len = %d after degraded Add", e.Len())
+	}
+}

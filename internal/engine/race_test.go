@@ -126,3 +126,71 @@ func TestEngineConcurrentRemove(t *testing.T) {
 		t.Errorf("post-race Gram differs from batch by %g", d)
 	}
 }
+
+// TestEngineConcurrentAddBatch mixes AddBatch with single Adds and
+// readers. The batch path snapshots the corpus, computes outside the
+// lock, and reconciles a concurrently grown tail under the lock; the
+// final state must still equal a batch Gram over the settled corpus.
+func TestEngineConcurrentAddBatch(t *testing.T) {
+	xs := corpus(t, 32, 55)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 4})
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for lo := 0; lo < 16; lo += 4 {
+			if _, err := e.AddBatch(xs[lo : lo+4]); err != nil {
+				t.Errorf("AddBatch: %v", err)
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for _, x := range xs[16:24] {
+			e.Add(x)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for lo := 24; lo < 32; lo += 2 {
+			if _, err := e.AddBatch(xs[lo : lo+2]); err != nil {
+				t.Errorf("AddBatch: %v", err)
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g, ids := e.Gram()
+			if g.Rows != len(ids) || !g.IsSymmetric(0) {
+				t.Error("mid-race snapshot malformed")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	final, ids := e.Gram()
+	got, _ := e.Strings()
+	if len(ids) != len(xs) {
+		t.Fatalf("corpus has %d entries, want %d", len(ids), len(xs))
+	}
+	want := kernel.Gram(&core.Kast{CutWeight: 2}, got)
+	if d := final.MaxAbsDiff(want); d != 0 {
+		t.Errorf("post-race Gram differs from batch by %g", d)
+	}
+}

@@ -47,6 +47,86 @@ func TestGrowSymmetricReusesCapacity(t *testing.T) {
 	}
 }
 
+// TestGrowSymmetricBlockMatchesSequential checks the block append against
+// the single-row reference across block shapes, both from empty and onto an
+// existing matrix, with and without spare capacity.
+func TestGrowSymmetricBlockMatchesSequential(t *testing.T) {
+	val := func(i, j int) float64 { return float64((i+1)*1000 + j) }
+	rows := func(n, k int) [][]float64 {
+		out := make([][]float64, k)
+		for t := 0; t < k; t++ {
+			out[t] = make([]float64, n+t+1)
+			for j := range out[t] {
+				out[t][j] = val(n+t, j)
+			}
+		}
+		return out
+	}
+	for _, tc := range []struct{ n, k int }{
+		{0, 1}, {0, 5}, {3, 1}, {3, 4}, {7, 2}, {1, 8},
+	} {
+		base := func() *Matrix {
+			m := NewMatrix(0, 0)
+			for i := 0; i < tc.n; i++ {
+				rc := make([]float64, i+1)
+				for j := range rc {
+					rc[j] = val(i, j)
+				}
+				m.GrowSymmetric(rc)
+			}
+			return m
+		}
+		want := base()
+		for _, r := range rows(tc.n, tc.k) {
+			want.GrowSymmetric(append([]float64(nil), r...))
+		}
+		got := base()
+		got.GrowSymmetricBlock(rows(tc.n, tc.k))
+		if d := got.MaxAbsDiff(want); d != 0 {
+			t.Fatalf("n=%d k=%d: block append differs from sequential:\ngot:\n%v\nwant:\n%v", tc.n, tc.k, got, want)
+		}
+		if !got.IsSymmetric(0) {
+			t.Fatalf("n=%d k=%d: block-grown matrix not symmetric", tc.n, tc.k)
+		}
+		// Again with spare capacity, exercising the in-place move.
+		warm := base()
+		warm.GrowSymmetricBlock(rows(tc.n, tc.k)) // forces a reallocation with 2x cap
+		shrunk := warm.SelectSymmetric(seqInts(tc.n))
+		shrunk.Data = append(warm.Data[:0], shrunk.Data...) // reuse warm's large backing
+		shrunk.GrowSymmetricBlock(rows(tc.n, tc.k))
+		if d := shrunk.MaxAbsDiff(want); d != 0 {
+			t.Fatalf("n=%d k=%d: in-place block append differs by %g", tc.n, tc.k, d)
+		}
+	}
+	// Empty block is a no-op.
+	m := FromRows([][]float64{{1, 2}, {2, 3}})
+	m.GrowSymmetricBlock(nil)
+	if m.Rows != 2 || m.At(1, 1) != 3 {
+		t.Fatal("empty block append mutated the matrix")
+	}
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestGrowSymmetricBlockPanics(t *testing.T) {
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	check("non-square", func() { NewMatrix(2, 3).GrowSymmetricBlock([][]float64{{1, 2, 3}}) })
+	check("wrong row length", func() { NewMatrix(2, 2).GrowSymmetricBlock([][]float64{{1, 2, 3}, {1}}) })
+}
+
 func TestGrowSymmetricPanics(t *testing.T) {
 	check := func(name string, fn func()) {
 		defer func() {

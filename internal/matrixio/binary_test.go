@@ -1,0 +1,86 @@
+package matrixio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iokast/internal/linalg"
+	"iokast/internal/xrand"
+)
+
+func randomSymmetric(n int, seed uint64) *linalg.Matrix {
+	r := xrand.New(seed)
+	m := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			v := r.Float64()*2000 - 1000
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
+}
+
+func TestTriangleRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		m := randomSymmetric(n, uint64(n)+1)
+		var buf bytes.Buffer
+		if err := WriteSymmetricTriangle(&buf, m); err != nil {
+			t.Fatalf("n=%d: write: %v", n, err)
+		}
+		got, err := ReadSymmetricTriangle(&buf)
+		if err != nil {
+			t.Fatalf("n=%d: read: %v", n, err)
+		}
+		if got.Rows != n || got.Cols != n {
+			t.Fatalf("n=%d: got %dx%d", n, got.Rows, got.Cols)
+		}
+		if n > 0 && got.MaxAbsDiff(m) != 0 {
+			t.Fatalf("n=%d: round trip not bit-identical, diff %g", n, got.MaxAbsDiff(m))
+		}
+	}
+}
+
+func TestTriangleRejectsNonSquare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSymmetricTriangle(&buf, linalg.NewMatrix(2, 3)); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestTriangleDetectsCorruption(t *testing.T) {
+	m := randomSymmetric(9, 3)
+	var buf bytes.Buffer
+	if err := WriteSymmetricTriangle(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Every truncation must fail: either a short read or a CRC mismatch.
+	for cut := 0; cut < len(good); cut++ {
+		if _, err := ReadSymmetricTriangle(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(good))
+		}
+	}
+
+	// A single flipped bit anywhere must fail. (A flip in the dimension
+	// field may be caught as a short read or the size limit instead of the
+	// CRC; any error is acceptable.)
+	for pos := 0; pos < len(good); pos += 37 {
+		bad := append([]byte(nil), good...)
+		bad[pos] ^= 0x40
+		if _, err := ReadSymmetricTriangle(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d not detected", pos)
+		}
+	}
+}
+
+func TestTriangleRejectsHugeDimension(t *testing.T) {
+	// Header claiming 2^30 rows must be rejected before allocating.
+	head := []byte(triangleMagic)
+	head = append(head, 0, 0, 0, 0x40) // little-endian 1<<30
+	if _, err := ReadSymmetricTriangle(bytes.NewReader(head)); err == nil || !strings.Contains(err.Error(), "limit") {
+		t.Fatalf("err = %v, want dimension limit error", err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package store persists the incremental Gram engine: an append-only,
+// CRC-checked write-ahead log of canonicalized traces plus periodic binary
+// snapshots of the full engine state, committed with atomic renames. A
+// killed process restarts into a bit-identical engine by restoring the
+// newest snapshot and replaying only the log records after it.
+//
+// Durability contract: a mutation is durable once the engine call that
+// performed it returns — the log record is appended, flushed, and (unless
+// Options.NoSync) fsynced under the engine's write lock, before the
+// in-memory state changes. A crash may preserve a mutation that was never
+// acknowledged (record written, response lost), but never loses one that
+// was. Batched ingestion (Engine.AddBatch) pays one record and one fsync
+// per batch, which is the point: per-trace fsync is the dominant cost of
+// durable single-trace Adds.
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"iokast/internal/token"
+)
+
+// Record types. A record is one engine mutation in the canonical trace
+// representation (token.String text form), so logs are self-contained and
+// survive changes to internal caches.
+const (
+	recAdd    byte = 1 // one string inserted: uvarint id, string
+	recRemove byte = 2 // tombstone: uvarint id
+	recBatch  byte = 3 // batch insert: uvarint firstID, uvarint n, n strings
+)
+
+// record is one decoded WAL entry.
+type record struct {
+	typ     byte
+	id      int            // add: id; remove: id; batch: first id
+	strings []token.String // add: 1 entry; batch: n entries
+}
+
+// ops returns how many engine mutations the record represents, which is
+// what sequence numbers count.
+func (r record) ops() uint64 {
+	if r.typ == recBatch {
+		return uint64(len(r.strings))
+	}
+	return 1
+}
+
+// maxRecordLen bounds a record frame so a corrupted length field cannot
+// force a huge allocation before its CRC is checked. 64 MiB comfortably
+// holds the largest batch the HTTP service accepts.
+const maxRecordLen = 64 << 20
+
+var walCRCTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornRecord reports an unreadable record: a torn write at the tail of
+// the newest segment (expected after a crash) or corruption. Replay stops
+// at the first one; everything before it is intact by CRC.
+var errTornRecord = errors.New("store: torn or corrupt wal record")
+
+// appendString writes a length-prefixed canonical string.
+func appendString(buf *bytes.Buffer, x token.String) {
+	var scratch [binary.MaxVarintLen64]byte
+	text := x.Format()
+	n := binary.PutUvarint(scratch[:], uint64(len(text)))
+	buf.Write(scratch[:n])
+	buf.WriteString(text)
+}
+
+// encodeRecord frames a record: u32 payload length, u32 CRC-32C of the
+// payload, payload. The frame is appended to buf.
+func encodeRecord(buf *bytes.Buffer, r record) {
+	var scratch [binary.MaxVarintLen64]byte
+	var payload bytes.Buffer
+	payload.WriteByte(r.typ)
+	n := binary.PutUvarint(scratch[:], uint64(r.id))
+	payload.Write(scratch[:n])
+	switch r.typ {
+	case recAdd:
+		appendString(&payload, r.strings[0])
+	case recBatch:
+		n = binary.PutUvarint(scratch[:], uint64(len(r.strings)))
+		payload.Write(scratch[:n])
+		for _, x := range r.strings {
+			appendString(&payload, x)
+		}
+	case recRemove:
+	default:
+		panic(fmt.Sprintf("store: encode unknown record type %d", r.typ))
+	}
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(payload.Len()))
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint32(scratch[:4], crc32.Checksum(payload.Bytes(), walCRCTable))
+	buf.Write(scratch[:4])
+	buf.Write(payload.Bytes())
+}
+
+// readRecord reads one framed record. It returns io.EOF at a clean segment
+// end and errTornRecord (possibly wrapped) for anything unparseable —
+// short frames, CRC mismatches, or malformed payloads.
+func readRecord(r io.Reader) (record, error) {
+	var head [8]byte
+	if _, err := io.ReadFull(r, head[:]); err != nil {
+		if err == io.EOF {
+			return record{}, io.EOF
+		}
+		return record{}, fmt.Errorf("%w: short header: %v", errTornRecord, err)
+	}
+	length := binary.LittleEndian.Uint32(head[:4])
+	if length == 0 || length > maxRecordLen {
+		return record{}, fmt.Errorf("%w: implausible length %d", errTornRecord, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return record{}, fmt.Errorf("%w: short payload: %v", errTornRecord, err)
+	}
+	if want, got := binary.LittleEndian.Uint32(head[4:]), crc32.Checksum(payload, walCRCTable); want != got {
+		return record{}, fmt.Errorf("%w: crc stored %08x, computed %08x", errTornRecord, want, got)
+	}
+	return decodePayload(payload)
+}
+
+func decodePayload(payload []byte) (record, error) {
+	br := bytes.NewReader(payload)
+	typ, err := br.ReadByte()
+	if err != nil {
+		return record{}, fmt.Errorf("%w: empty payload", errTornRecord)
+	}
+	rec := record{typ: typ}
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return record{}, fmt.Errorf("%w: bad id", errTornRecord)
+	}
+	rec.id = int(id)
+	readString := func() (token.String, error) {
+		textLen, err := binary.ReadUvarint(br)
+		if err != nil || textLen > maxRecordLen {
+			return nil, fmt.Errorf("%w: bad string length", errTornRecord)
+		}
+		text := make([]byte, textLen)
+		if _, err := io.ReadFull(br, text); err != nil {
+			return nil, fmt.Errorf("%w: short string", errTornRecord)
+		}
+		x, err := token.Parse(string(text))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", errTornRecord, err)
+		}
+		return x, nil
+	}
+	switch typ {
+	case recAdd:
+		x, err := readString()
+		if err != nil {
+			return record{}, err
+		}
+		rec.strings = []token.String{x}
+	case recBatch:
+		count, err := binary.ReadUvarint(br)
+		if err != nil || count == 0 || count > maxRecordLen/2 {
+			return record{}, fmt.Errorf("%w: bad batch count", errTornRecord)
+		}
+		rec.strings = make([]token.String, 0, min(int(count), 1<<16))
+		for i := uint64(0); i < count; i++ {
+			x, err := readString()
+			if err != nil {
+				return record{}, err
+			}
+			rec.strings = append(rec.strings, x)
+		}
+	case recRemove:
+	default:
+		return record{}, fmt.Errorf("%w: unknown type %d", errTornRecord, typ)
+	}
+	if br.Len() != 0 {
+		return record{}, fmt.Errorf("%w: %d trailing bytes", errTornRecord, br.Len())
+	}
+	return rec, nil
+}

@@ -31,6 +31,7 @@ import (
 	"iokast/internal/kernel"
 	"iokast/internal/kpca"
 	"iokast/internal/linalg"
+	"iokast/internal/store"
 	"iokast/internal/token"
 	"iokast/internal/trace"
 )
@@ -72,6 +73,14 @@ type (
 	EngineOptions = engine.Options
 	// Neighbor is one result of an Engine top-k similarity query.
 	Neighbor = engine.Neighbor
+	// Store is the durability sidecar of an Engine: a CRC-checked
+	// write-ahead log plus periodic atomic snapshots in a data directory.
+	Store = store.Store
+	// StoreOptions configure OpenEngine's persistence (snapshot cadence,
+	// fsync policy).
+	StoreOptions = store.Options
+	// StoreStats is a point-in-time view of a Store.
+	StoreStats = store.Stats
 )
 
 // Linkage strategies for hierarchical clustering.
@@ -130,6 +139,18 @@ func Gram(k Kernel, xs []WeightedString) *Matrix { return kernel.Gram(k, xs) }
 // return snapshots matching what the batch pipeline (Gram, PaperSimilarity)
 // would compute over the same corpus.
 func NewEngine(opt EngineOptions) *Engine { return engine.New(opt) }
+
+// OpenEngine recovers (or initialises) a durable engine from dir: the
+// newest readable snapshot is restored, log records after it are replayed,
+// and the returned engine persists every further mutation to the store's
+// write-ahead log. After a crash or kill, reopening the same directory
+// yields a bit-identical Gram matrix — no client re-ingestion needed.
+// Close the store to checkpoint and detach; the engine stays usable in
+// memory afterwards.
+func OpenEngine(dir string, eopt EngineOptions, sopt StoreOptions) (*Engine, *Store, error) {
+	eopt.Log = nil // the store attaches itself after replay
+	return store.Open(dir, func() *engine.Engine { return engine.New(eopt) }, sopt)
+}
 
 // PaperSimilarity runs the paper's full §4.1 post-processing for the Kast
 // kernel: raw Gram, Eq. 12 normalisation, and PSD repair (negative

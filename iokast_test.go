@@ -178,3 +178,45 @@ func TestEngineFacade(t *testing.T) {
 		t.Fatalf("Similar: %v, %v", ns, err)
 	}
 }
+
+func TestOpenEngineFacade(t *testing.T) {
+	ds, err := GeneratePaperDataset(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := ConvertAll(ds.Traces[:8], ConvertOptions{})
+	dir := t.TempDir()
+
+	e, st, err := OpenEngine(dir, EngineOptions{Kernel: NewKast(2)}, StoreOptions{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AddBatch(xs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[5:] {
+		e.Add(x)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the recovered engine must serve the identical Gram matrix.
+	e2, st2, err := OpenEngine(dir, EngineOptions{Kernel: NewKast(2)}, StoreOptions{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	g1, _ := e.Gram()
+	g2, ids := e2.Gram()
+	if len(ids) != len(xs) {
+		t.Fatalf("recovered %d ids, want %d", len(ids), len(xs))
+	}
+	if d := g1.MaxAbsDiff(g2); d != 0 {
+		t.Fatalf("recovered Gram differs by %g", d)
+	}
+	var stats StoreStats = st2.Stats()
+	if stats.Seq != uint64(len(xs)) {
+		t.Fatalf("recovered seq %d, want %d", stats.Seq, len(xs))
+	}
+}
