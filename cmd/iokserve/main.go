@@ -9,11 +9,16 @@
 // snapshots bound replay time. A killed server restarts into a
 // bit-identical Gram matrix without clients re-sending anything.
 //
+// Every ingested trace is also embedded into a fixed-width sketch vector
+// (internal/sketch), so similarity can be answered approximately — an
+// O(N*dim) index scan plus an exact kernel rerank of a small shortlist —
+// and for traces that are not in the corpus at all (query-by-trace).
+//
 // Usage:
 //
 //	iokserve [-addr :8080] [-kernel kast] [-cut 2] [-k 5] [-count]
 //	         [-nobytes] [-workers 0] [-data-dir DIR] [-snapshot-every 1024]
-//	         [-nosync]
+//	         [-nosync] [-sketch-dim 256] [-sketch-seed 0]
 //
 // Endpoints:
 //
@@ -21,7 +26,13 @@
 //	POST   /traces/batch     body = {"traces": ["...", ...]}; one WAL
 //	                         commit and one Gram block for the whole batch
 //	DELETE /traces/{id}      remove a trace from the corpus (durable)
-//	GET    /similar?id=&k=   top-k most similar corpus entries
+//	GET    /similar?id=&k=   top-k most similar corpus entries (exact)
+//	GET    /similar?id=&k=&approx=1&rerank=R
+//	                         sketch-index shortlist, exact rerank of the top
+//	                         R candidates (R=0: sketch scores only)
+//	POST   /similar?k=&rerank=R
+//	                         query-by-trace: body = trace text, compared
+//	                         against the corpus but never ingested
 //	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
 //	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
 //	GET    /healthz          liveness probe; "degraded" if persistence fails
@@ -42,6 +53,7 @@ import (
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/sketch"
 	"iokast/internal/store"
 )
 
@@ -56,6 +68,8 @@ func main() {
 	dataDir := flag.String("data-dir", "", "directory for WAL + snapshots; empty = in-memory only")
 	snapshotEvery := flag.Int("snapshot-every", 1024, "mutations between automatic snapshots (<0 disables)")
 	noSync := flag.Bool("nosync", false, "skip fsync per WAL append (faster, loses recent writes on machine crash)")
+	sketchDim := flag.Int("sketch-dim", sketch.DefaultDim, "sketch vector width for approximate similarity (0 disables sketching)")
+	sketchSeed := flag.Uint64("sketch-seed", 0, "seed for the sketch hashes (must match across restarts sharing a data dir to reuse persisted sketches)")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -65,7 +79,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	eopt := engine.Options{Kernel: kern, Workers: *workers}
+	eopt := engine.Options{Kernel: kern, Workers: *workers, SketchDim: *sketchDim, SketchSeed: *sketchSeed}
+	if *sketchDim <= 0 {
+		eopt.SketchDim = -1
+	}
 	var (
 		eng *engine.Engine
 		st  *store.Store

@@ -50,26 +50,35 @@ func newServer(eng *engine.Engine, st *store.Store, copt core.Options) *server {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// readTraceBody reads, parses, and converts one trace from the request
+// body, writing the HTTP error itself when it returns ok = false.
+func (s *server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.Trace, token.String, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBody+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return nil, nil, false
+	}
+	if len(body) > maxTraceBody {
+		httpError(w, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBody)
+		return nil, nil, false
+	}
+	tr, err := trace.ParseString(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
+		return nil, nil, false
+	}
+	return tr, core.Convert(tr, s.copt), true
+}
+
 func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a trace in the canonical text format")
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBody+1))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+	tr, x, ok := s.readTraceBody(w, r)
+	if !ok {
 		return
 	}
-	if len(body) > maxTraceBody {
-		httpError(w, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBody)
-		return
-	}
-	tr, err := trace.ParseString(string(body))
-	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
-		return
-	}
-	x := core.Convert(tr, s.copt)
 	id := s.eng.Add(x)
 	if err := s.eng.Err(); err != nil {
 		// Ingested in memory but not persisted: tell the client instead of
@@ -176,29 +185,96 @@ func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET /similar?id=&k=")
-		return
+	switch r.Method {
+	case http.MethodGet:
+		s.handleSimilarByID(w, r)
+	case http.MethodPost:
+		s.handleSimilarByTrace(w, r)
+	default:
+		httpError(w, http.StatusMethodNotAllowed,
+			"GET /similar?id=&k=[&approx=1&rerank=] or POST /similar with a trace body")
 	}
+}
+
+// similarParams parses the k and rerank query parameters shared by both
+// /similar forms. rerank defaults to -1 (the engine's over-fetch default);
+// 0 means sketch-only scores, >= corpus size means exact.
+func similarParams(r *http.Request) (k, rerank int, err error) {
+	k, rerank = 10, -1
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		if k, err = strconv.Atoi(ks); err != nil || k < 0 {
+			return 0, 0, fmt.Errorf("bad k %q", ks)
+		}
+	}
+	if rs := r.URL.Query().Get("rerank"); rs != "" {
+		if rerank, err = strconv.Atoi(rs); err != nil {
+			return 0, 0, fmt.Errorf("bad rerank %q", rs)
+		}
+	}
+	return k, rerank, nil
+}
+
+func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad or missing id")
 		return
 	}
-	k := 10
-	if ks := r.URL.Query().Get("k"); ks != "" {
-		k, err = strconv.Atoi(ks)
-		if err != nil || k < 0 {
-			httpError(w, http.StatusBadRequest, "bad k %q", ks)
+	k, rerank, err := similarParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	approx := r.URL.Query().Get("approx")
+	var ns []engine.Neighbor
+	if approx == "1" || approx == "true" {
+		ns, err = s.eng.SimilarApprox(id, k, rerank)
+		if err != nil {
+			status := http.StatusNotFound
+			if _, _, enabled := s.eng.SketchConfig(); !enabled {
+				status = http.StatusConflict // run without -sketch-dim 0
+			}
+			httpError(w, status, "%v", err)
 			return
 		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"id": id, "neighbors": ns, "approx": true, "rerank": rerank,
+		})
+		return
 	}
-	ns, err := s.eng.Similar(id, k)
+	ns, err = s.eng.Similar(id, k)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"id": id, "neighbors": ns})
+}
+
+// handleSimilarByTrace is query-by-trace: the body is one trace in the
+// canonical text format, converted and compared like an ingested trace but
+// never added to the corpus, the WAL, or the id space.
+func (s *server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
+	tr, x, ok := s.readTraceBody(w, r)
+	if !ok {
+		return
+	}
+	k, rerank, err := similarParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ns, err := s.eng.SimilarTrace(x, k, rerank)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":      tr.Name,
+		"tokens":    len(x),
+		"weight":    x.Weight(),
+		"neighbors": ns,
+		"rerank":    rerank,
+	})
 }
 
 func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {

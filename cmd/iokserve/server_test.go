@@ -110,12 +110,84 @@ func TestServeErrors(t *testing.T) {
 	s := testServer()
 	doJSON(t, s, http.MethodGet, "/traces", "", http.StatusMethodNotAllowed)
 	doJSON(t, s, http.MethodPost, "/traces", "not a trace line", http.StatusBadRequest)
-	doJSON(t, s, http.MethodPost, "/similar?id=0", "", http.StatusMethodNotAllowed)
+	doJSON(t, s, http.MethodPut, "/similar?id=0", "", http.StatusMethodNotAllowed)
 	doJSON(t, s, http.MethodGet, "/similar", "", http.StatusBadRequest)
 	doJSON(t, s, http.MethodGet, "/similar?id=7", "", http.StatusNotFound)
 	doJSON(t, s, http.MethodGet, "/similar?id=0&k=-1", "", http.StatusBadRequest)
+	doJSON(t, s, http.MethodGet, "/similar?id=7&approx=1", "", http.StatusNotFound)
+	doJSON(t, s, http.MethodGet, "/similar?id=0&approx=1&rerank=zap", "", http.StatusBadRequest)
+	doJSON(t, s, http.MethodPost, "/similar", "not a trace line", http.StatusBadRequest)
 	doJSON(t, s, http.MethodDelete, "/traces/zap", "", http.StatusBadRequest)
 	doJSON(t, s, http.MethodPost, "/gram", "", http.StatusMethodNotAllowed)
+}
+
+func TestServeSimilarApprox(t *testing.T) {
+	s := testServer()
+	for _, body := range []string{traceA, traceA, traceB} {
+		doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)
+	}
+
+	// Approximate with full rerank must agree with the exact endpoint.
+	exact := doJSON(t, s, http.MethodGet, "/similar?id=0&k=2", "", http.StatusOK)
+	approx := doJSON(t, s, http.MethodGet, "/similar?id=0&k=2&approx=1&rerank=3", "", http.StatusOK)
+	if approx["approx"] != true {
+		t.Fatalf("approx response not flagged: %v", approx)
+	}
+	en, an := exact["neighbors"].([]any), approx["neighbors"].([]any)
+	if len(en) != len(an) {
+		t.Fatalf("exact %v vs approx %v", en, an)
+	}
+	for i := range en {
+		e, a := en[i].(map[string]any), an[i].(map[string]any)
+		if e["id"] != a["id"] || e["similarity"] != a["similarity"] {
+			t.Fatalf("neighbor %d: exact %v vs approx %v", i, e, a)
+		}
+	}
+
+	// Sketch-only ranking (rerank=0) still puts the duplicate first.
+	resp := doJSON(t, s, http.MethodGet, "/similar?id=0&k=1&approx=1&rerank=0", "", http.StatusOK)
+	top := resp["neighbors"].([]any)[0].(map[string]any)
+	if int(top["id"].(float64)) != 1 {
+		t.Fatalf("sketch-only top neighbour = %v, want id 1", top)
+	}
+}
+
+func TestServeSimilarByTrace(t *testing.T) {
+	s := testServer()
+	for _, body := range []string{traceA, traceA, traceB} {
+		doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)
+	}
+
+	// Query by trace: traceA's duplicate entries are the top matches at
+	// similarity 1, and nothing is ingested.
+	resp := doJSON(t, s, http.MethodPost, "/similar?k=2&rerank=3", traceA, http.StatusOK)
+	ns := resp["neighbors"].([]any)
+	if len(ns) != 2 {
+		t.Fatalf("neighbors = %v", ns)
+	}
+	for i, want := range []int{0, 1} {
+		n := ns[i].(map[string]any)
+		if int(n["id"].(float64)) != want || n["similarity"].(float64) < 0.999999 {
+			t.Fatalf("neighbor %d = %v, want id %d at similarity 1", i, n, want)
+		}
+	}
+	health := doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := health["traces"].(float64); n != 3 {
+		t.Fatalf("query-by-trace ingested something: %v traces", n)
+	}
+}
+
+func TestServeApproxDisabled(t *testing.T) {
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2, SketchDim: -1})
+	s := newServer(eng, nil, core.Options{})
+	doJSON(t, s, http.MethodPost, "/traces", traceA, http.StatusCreated)
+	doJSON(t, s, http.MethodGet, "/similar?id=0&approx=1", "", http.StatusConflict)
+	// Query-by-trace degrades to the exact scan instead of failing.
+	resp := doJSON(t, s, http.MethodPost, "/similar?k=1", traceA, http.StatusOK)
+	top := resp["neighbors"].([]any)[0].(map[string]any)
+	if int(top["id"].(float64)) != 0 || top["similarity"].(float64) < 0.999999 {
+		t.Fatalf("exact fallback top neighbour = %v", top)
+	}
 }
 
 func TestServeConcurrentClients(t *testing.T) {

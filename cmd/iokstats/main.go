@@ -18,20 +18,34 @@ import (
 )
 
 func main() {
-	straceIn := flag.Bool("strace", false, "input is an strace-style call log")
-	top := flag.Int("top", 10, "histogram entries to display (0 = all)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	var in io.Reader = os.Stdin
-	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "iokstats: at most one input file")
-		os.Exit(2)
+// run is the testable body of the command: flags and the input file come
+// from args, the trace falls back to stdin, and the exit code is returned
+// instead of calling os.Exit.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("iokstats", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	straceIn := flags.Bool("strace", false, "input is an strace-style call log")
+	top := flags.Int("top", 10, "histogram entries to display (0 = all)")
+	if err := flags.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
 	}
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
+
+	in := stdin
+	if flags.NArg() > 1 {
+		fmt.Fprintln(stderr, "iokstats: at most one input file")
+		return 2
+	}
+	if flags.NArg() == 1 {
+		f, err := os.Open(flags.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokstats: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "iokstats: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
@@ -46,23 +60,24 @@ func main() {
 		tr, err = trace.Parse(in)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokstats: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokstats: %v\n", err)
+		return 1
 	}
 
 	if tr.Name != "" {
-		fmt.Printf("trace: %s\n", tr.Name)
+		fmt.Fprintf(stdout, "trace: %s\n", tr.Name)
 	}
-	fmt.Print(trace.ComputeStats(tr).String())
+	fmt.Fprint(stdout, trace.ComputeStats(tr).String())
 
 	hist := trace.ByteHistogram(tr)
 	if *top > 0 && len(hist) > *top {
 		hist = hist[:*top]
 	}
 	if len(hist) > 0 {
-		fmt.Println("\nvocabulary (count x operation):")
+		fmt.Fprintln(stdout, "\nvocabulary (count x operation):")
 		for _, e := range hist {
-			fmt.Printf("  %8d x %-24s (%d bytes total)\n", e.Count, e.Key, e.Bytes)
+			fmt.Fprintf(stdout, "  %8d x %-24s (%d bytes total)\n", e.Count, e.Key, e.Bytes)
 		}
 	}
+	return 0
 }

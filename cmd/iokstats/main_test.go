@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runStats invokes the command body and returns (stdout, stderr, code).
+func runStats(t *testing.T, args []string, stdin string) (string, string, int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, strings.NewReader(stdin), &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+func checkGolden(t *testing.T, got, goldenPath string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output does not match %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestGoldenFile(t *testing.T) {
+	fixture := filepath.Join("testdata", "sample.trace")
+	out, errOut, code := runStats(t, []string{fixture}, "")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "sample.golden"))
+}
+
+func TestGoldenTopFlag(t *testing.T) {
+	fixture := filepath.Join("testdata", "sample.trace")
+	out, errOut, code := runStats(t, []string{"-top", "2", fixture}, "")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "sample_top2.golden"))
+}
+
+func TestGoldenStdin(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "sample.trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, errOut, code := runStats(t, nil, string(raw))
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "sample.golden"))
+}
+
+func TestErrors(t *testing.T) {
+	if _, errOut, code := runStats(t, []string{"testdata/does-not-exist.trace"}, ""); code != 1 || errOut == "" {
+		t.Fatalf("missing file: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runStats(t, []string{"a", "b"}, ""); code != 2 || !strings.Contains(errOut, "at most one") {
+		t.Fatalf("two files: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runStats(t, []string{"-nope"}, ""); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if _, errOut, code := runStats(t, nil, "open fh=oops"); code != 1 || errOut == "" {
+		t.Fatalf("bad trace: exit %d, stderr %q", code, errOut)
+	}
+}

@@ -116,3 +116,54 @@ func BenchmarkEngineSimilar(b *testing.B) {
 		}
 	}
 }
+
+// similarBenchEngine builds a warm engine of n short traces plus one query
+// string that is never ingested. Short strings keep the quadratic corpus
+// build cheap; the query path under test scales the same way regardless.
+func similarBenchEngine(b *testing.B, n int) (*Engine, token.String) {
+	b.Helper()
+	xs := benchCorpus(n+1, 24)
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	if _, err := e.AddBatch(xs[:n]); err != nil {
+		b.Fatal(err)
+	}
+	return e, xs[n]
+}
+
+// BenchmarkSimilarExact measures exact query-by-trace: one Kast evaluation
+// against every live corpus entry (SimilarTrace with the rerank covering
+// the corpus). This is the O(N * kernel) baseline the sketch index exists
+// to beat; compare BenchmarkSimilarSketch at the same N.
+func BenchmarkSimilarExact(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("corpus=%d", n), func(b *testing.B) {
+			e, q := similarBenchEngine(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.SimilarTrace(q, 10, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSimilarSketch measures the approximate path over the same
+// corpus and query: an O(N * dim) sketch-index scan plus an exact Kast
+// rerank of the default shortlist — per-query kernel work is constant in
+// N, so the gap over BenchmarkSimilarExact widens with the corpus.
+func BenchmarkSimilarSketch(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("corpus=%d", n), func(b *testing.B) {
+			e, q := similarBenchEngine(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.SimilarTrace(q, 10, -1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"iokast/internal/core"
 	"iokast/internal/kernel"
 	"iokast/internal/linalg"
+	"iokast/internal/sketch"
 	"iokast/internal/token"
 )
 
@@ -45,6 +46,16 @@ type Options struct {
 	// log order matches the id order. internal/store implements it as a
 	// write-ahead log. See SetLog for attaching a log after recovery.
 	Log Log
+	// SketchDim is the width of the sketch vectors maintained alongside the
+	// corpus for approximate similarity (SimilarApprox, SimilarTrace):
+	// 0 means sketch.DefaultDim, negative disables sketching entirely.
+	// Sketches are deterministic in (trace, SketchDim, SketchSeed), so two
+	// engines with the same configuration and corpus hold bit-identical
+	// indexes regardless of how the corpus was built or recovered.
+	SketchDim int
+	// SketchSeed keys the sketch hashes. Sketches (and snapshots carrying
+	// them) are only compatible across engines with equal dim and seed.
+	SketchSeed uint64
 }
 
 // Log receives engine mutations for durability. Implementations must be
@@ -78,6 +89,9 @@ type Engine struct {
 	seq     uint64 // accepted mutations (adds + removes), the WAL sequence
 	log     Log    // mutation log, nil for a purely in-memory engine
 	logErr  error  // sticky: first log failure, surfaced by Err
+
+	sk *sketch.Sketcher // nil when sketching is disabled
+	ix *sketch.Index    // sketch index over live ids; nil iff sk is nil
 }
 
 // entry caches one corpus string and its per-string representation.
@@ -85,6 +99,7 @@ type entry struct {
 	x     token.String
 	feats map[string]float64 // featured kernels
 	prep  *core.Prepared     // Kast kernels
+	vec   []float64          // sketch vector; shares storage with the index
 }
 
 // Neighbor is one entry of a top-k similarity query.
@@ -111,6 +126,10 @@ func New(opt Options) *Engine {
 	} else if _, ok := kernel.Features(k, nil); ok {
 		e.featured = true
 	}
+	if opt.SketchDim >= 0 {
+		e.sk = sketch.New(sketch.Options{Dim: opt.SketchDim, Seed: opt.SketchSeed})
+		e.ix = sketch.NewIndex(e.sk.Dim())
+	}
 	return e
 }
 
@@ -132,6 +151,7 @@ func (e *Engine) Add(x token.String) int {
 	// Per-string representations are built outside the write lock where
 	// possible; the interner is internally synchronised.
 	ne := e.newEntry(x)
+	e.sketchEntry(ne)
 
 	// The O(N) row of kernel evaluations runs against a snapshot of the
 	// entry slice taken under the read lock, so concurrent readers (and
@@ -166,6 +186,7 @@ func (e *Engine) Add(x token.String) int {
 	}
 	e.g.GrowSymmetric(rowcol)
 	e.entries = append(e.entries, ne)
+	e.indexEntry(n, ne)
 	e.active++
 	e.seq++
 	return n
@@ -188,7 +209,10 @@ func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
 		return nil, nil
 	}
 	nes := make([]*entry, m)
-	kernel.ParallelFor(m, e.workers, func(i int) { nes[i] = e.newEntry(xs[i]) })
+	kernel.ParallelFor(m, e.workers, func(i int) {
+		nes[i] = e.newEntry(xs[i])
+		e.sketchEntry(nes[i])
+	})
 
 	e.mu.RLock()
 	snap := append([]*entry(nil), e.entries...)
@@ -252,6 +276,9 @@ func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
 	}
 	e.g.GrowSymmetricBlock(rows)
 	e.entries = append(e.entries, nes...)
+	for t, ne := range nes {
+		e.indexEntry(first+t, ne)
+	}
 	e.active += m
 	e.seq += uint64(m)
 	return ids, logErr
@@ -273,6 +300,33 @@ func (e *Engine) newEntry(x token.String) *entry {
 		ne.x = append(token.String(nil), x...)
 	}
 	return ne
+}
+
+// sketchEntry fills ne.vec with the entry's sketch. Featured kernels are
+// sketched from their own feature maps, so the sketch cosine estimates the
+// kernel's cosine directly; Kast (and any other) kernels are sketched from
+// the string's windowed substring features, a proxy that tracks shared-
+// substring similarity well enough for shortlist recall (the exact rerank
+// restores exact results). Safe for concurrent use.
+func (e *Engine) sketchEntry(ne *entry) {
+	if e.sk == nil {
+		return
+	}
+	if e.featured {
+		ne.vec = e.sk.SketchFeatures(ne.feats)
+		return
+	}
+	ne.vec = e.sk.Sketch(ne.x)
+}
+
+// indexEntry registers a committed entry's sketch under its id. Caller
+// holds e.mu; the index shares the entry's vector storage.
+func (e *Engine) indexEntry(id int, ne *entry) {
+	if e.ix == nil {
+		return
+	}
+	// Ids are assigned sequentially and never reused, so Add cannot fail.
+	_ = e.ix.Add(id, ne.vec)
 }
 
 // compareRow evaluates the kernel of ne against each entry, fanned out over
@@ -320,6 +374,9 @@ func (e *Engine) Remove(id int) error {
 		}
 	}
 	e.entries[id] = nil
+	if e.ix != nil {
+		e.ix.Remove(id)
+	}
 	e.active--
 	e.seq++
 	return nil
@@ -453,6 +510,191 @@ func (e *Engine) Similar(id, k int) ([]Neighbor, error) {
 		out = out[:k]
 	}
 	return out, nil
+}
+
+// DefaultRerankFloor is the minimum candidate over-fetch SimilarApprox and
+// SimilarTrace use when the caller does not pick a rerank width.
+const DefaultRerankFloor = 32
+
+// defaultRerank sizes the candidate shortlist for a top-k query: a 4x
+// over-fetch with a floor, so small k still gives the exact rerank enough
+// candidates to recover sketch-ranking mistakes.
+func defaultRerank(k int) int {
+	if k < 0 {
+		return int(^uint(0) >> 1) // all candidates: exact
+	}
+	if r := 4 * k; r > DefaultRerankFloor {
+		return r
+	}
+	return DefaultRerankFloor
+}
+
+// SimilarApprox is Similar answered from the sketch index: the query id's
+// sketch is scored against every live sketch (O(N * dim) multiply-adds
+// instead of N kernel evaluations for query-by-trace workloads, and a
+// shortlist instead of a full sort here), the top candidates are reranked
+// with the exact cosine-normalised kernel values from the Gram matrix, and
+// the best k are returned in Similar's order (decreasing similarity, ties
+// by ascending id).
+//
+// rerank controls the shortlist: negative picks the default over-fetch
+// (max(4k, DefaultRerankFloor)), 0 skips the exact rerank entirely and
+// returns sketch cosines as the similarity scores, and rerank >= Len()-1
+// makes the result identical to Similar(id, k). In between, the result is
+// exact over the shortlist: it equals Similar whenever the shortlist
+// contains the true top k.
+func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.ix == nil {
+		return nil, fmt.Errorf("engine: sketching disabled (Options.SketchDim < 0)")
+	}
+	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
+		return nil, fmt.Errorf("engine: no entry with id %d", id)
+	}
+	q := e.ix.Vec(id)
+	if rerank < 0 {
+		rerank = defaultRerank(k)
+	}
+	if rerank == 0 {
+		return neighbors(e.ix.Search(q, k, id)), nil
+	}
+	fetch := rerank
+	if k > fetch {
+		fetch = k
+	}
+	cands := e.ix.Search(q, fetch, id)
+	self := e.g.At(id, id)
+	out := make([]Neighbor, 0, len(cands))
+	for _, c := range cands {
+		v := e.g.At(id, c.ID)
+		if d := self * e.g.At(c.ID, c.ID); d > 0 {
+			v /= math.Sqrt(d)
+		} else {
+			v = 0
+		}
+		out = append(out, Neighbor{ID: c.ID, Similarity: v})
+	}
+	sortNeighbors(out)
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// SimilarTrace answers "what is this trace similar to?" without ingesting
+// it: the query string is prepared (and sketched) exactly like a corpus
+// entry, but nothing is added to the corpus, logged, or assigned an id.
+// Scores are the cosine-normalised kernel values k(q,j)/sqrt(k(q,q)k(j,j)),
+// ordered like Similar.
+//
+// rerank works as in SimilarApprox: negative for the default over-fetch,
+// 0 for sketch-only scores, >= Len() for the exact answer. When sketching
+// is disabled the query always runs exact — one kernel evaluation per live
+// entry — whatever rerank says.
+func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("engine: empty query string")
+	}
+	// Representations are built outside any lock, like Add's compute
+	// phase. For Kast engines the query's literals are interned into the
+	// shared table, which only grows — repeated unknown-literal queries
+	// cost table memory, never correctness.
+	qe := e.newEntry(x)
+	e.sketchEntry(qe)
+	self := e.compare(qe, qe)
+
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if rerank < 0 {
+		rerank = defaultRerank(k)
+	}
+	var cands []sketch.Candidate
+	if e.ix == nil || rerank >= e.active {
+		// Exact path: every live entry is a candidate.
+		for id, en := range e.entries {
+			if en != nil {
+				cands = append(cands, sketch.Candidate{ID: id})
+			}
+		}
+	} else {
+		if rerank == 0 {
+			return neighbors(e.ix.Search(qe.vec, k, -1)), nil
+		}
+		fetch := rerank
+		if k > fetch {
+			fetch = k
+		}
+		cands = e.ix.Search(qe.vec, fetch, -1)
+	}
+	// The candidate kernel evaluations fan out over the worker pool, like
+	// Add's row computation.
+	against := make([]*entry, len(cands))
+	for i, c := range cands {
+		against[i] = e.entries[c.ID]
+	}
+	row := e.compareRow(qe, against)
+	out := make([]Neighbor, 0, len(cands))
+	for i, c := range cands {
+		v := row[i]
+		if d := self * e.g.At(c.ID, c.ID); d > 0 {
+			v /= math.Sqrt(d)
+		} else {
+			v = 0
+		}
+		out = append(out, Neighbor{ID: c.ID, Similarity: v})
+	}
+	sortNeighbors(out)
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+// neighbors converts sketch candidates (already sorted by the index) into
+// Neighbor values carrying the sketch cosine as the similarity.
+func neighbors(cands []sketch.Candidate) []Neighbor {
+	out := make([]Neighbor, len(cands))
+	for i, c := range cands {
+		out[i] = Neighbor{ID: c.ID, Similarity: c.Score}
+	}
+	return out
+}
+
+// sortNeighbors orders by decreasing similarity with ties by ascending id
+// — the order Similar produces (its stable sort over an id-ascending scan
+// breaks ties the same way), so rerank results compare equal to Similar's.
+func sortNeighbors(out []Neighbor) {
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Similarity != out[b].Similarity {
+			return out[a].Similarity > out[b].Similarity
+		}
+		return out[a].ID < out[b].ID
+	})
+}
+
+// SketchConfig reports whether sketching is enabled and, if so, the sketch
+// width and seed the engine embeds with.
+func (e *Engine) SketchConfig() (dim int, seed uint64, enabled bool) {
+	if e.sk == nil {
+		return 0, 0, false
+	}
+	return e.sk.Dim(), e.sk.Seed(), true
+}
+
+// SketchVec returns a copy of the indexed sketch vector for id, or nil if
+// the id is absent, tombstoned, or sketching is disabled. Tests use it to
+// assert bit-identical indexes across incremental, batch, and recovered
+// engines.
+func (e *Engine) SketchVec(id int) []float64 {
+	if e.ix == nil {
+		return nil
+	}
+	v := e.ix.Vec(id)
+	if v == nil {
+		return nil
+	}
+	return append([]float64(nil), v...)
 }
 
 // GramAt computes, from scratch but reusing every cached per-string view,

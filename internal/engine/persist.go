@@ -22,20 +22,28 @@ import (
 // Layout:
 //
 //	magic    "IOKSNAP1" (8 bytes)
-//	version  byte (= 1)
+//	version  byte (= 2; version-1 snapshots, which end the CRC section
+//	         after the entries, are still restored)
 //	kernel   uvarint length + kernel.Name() bytes (checked on restore)
 //	seq      uint64 little-endian, mutations applied at capture
 //	numIDs   uvarint, total ids ever assigned (matrix dimension)
 //	active   uvarint, live (non-tombstoned) ids
 //	entries  per id: flag byte 0 (tombstone) or 1 (live);
 //	         if live: uvarint length + canonical token text (token.Parse)
+//	sketch   flag byte 0 (disabled) or 1 (enabled); if enabled: uvarint
+//	         dim + uint64 little-endian seed (version >= 2 only)
 //	crc      uint32 little-endian, CRC-32C over everything above
+//	vectors  matrixio.WriteVectors of the sketch index, one slot per id
+//	         (own magic and CRC; only when the sketch flag is 1)
 //	triangle matrixio.WriteSymmetricTriangle of the raw Gram matrix
 //	         (own magic and CRC; must be last, the triangle reader may
 //	         buffer to end-of-stream)
 const snapshotMagic = "IOKSNAP1"
 
-const snapshotVersion = 1
+const (
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
+)
 
 var snapCRCTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -107,12 +115,42 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 			return fmt.Errorf("engine: snapshot entry %d: %w", id, err)
 		}
 	}
+	if e.sk == nil {
+		if _, err := cw.Write([]byte{0}); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+	} else {
+		if _, err := cw.Write([]byte{1}); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(e.sk.Dim())); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		binary.LittleEndian.PutUint64(scratch[:8], e.sk.Seed())
+		if _, err := cw.Write(scratch[:8]); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+	}
 	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return fmt.Errorf("engine: snapshot: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("engine: snapshot: %w", err)
+	}
+	if e.sk != nil {
+		// The index shares vector storage with the entries, so the slot
+		// layout is exactly the entry slice: live ids present, tombstones
+		// absent.
+		vecs := make([][]float64, len(e.entries))
+		for id, en := range e.entries {
+			if en != nil {
+				vecs[id] = en.vec
+			}
+		}
+		if err := matrixio.WriteVectors(w, e.sk.Dim(), vecs); err != nil {
+			return fmt.Errorf("engine: snapshot sketches: %w", err)
+		}
 	}
 	if err := matrixio.WriteSymmetricTriangle(w, e.g); err != nil {
 		return fmt.Errorf("engine: snapshot matrix: %w", err)
@@ -166,8 +204,9 @@ func (e *Engine) Restore(r io.Reader) error {
 	if string(head[:len(snapshotMagic)]) != snapshotMagic {
 		return fmt.Errorf("engine: bad snapshot magic %q", head[:len(snapshotMagic)])
 	}
-	if v := head[len(snapshotMagic)]; v != snapshotVersion {
-		return fmt.Errorf("engine: unsupported snapshot version %d", v)
+	version := head[len(snapshotMagic)]
+	if version != snapshotVersion && version != snapshotVersionV1 {
+		return fmt.Errorf("engine: unsupported snapshot version %d", version)
 	}
 	nameLen, err := binary.ReadUvarint(cr)
 	if err != nil || nameLen > 1024 {
@@ -231,6 +270,32 @@ func (e *Engine) Restore(r io.Reader) error {
 	if gotActive != int(active) {
 		return fmt.Errorf("engine: snapshot claims %d live entries, found %d", active, gotActive)
 	}
+	var (
+		snapSketch bool
+		snapDim    uint64
+		snapSeed   uint64
+	)
+	if version >= 2 {
+		flag, err := cr.ReadByte()
+		if err != nil {
+			return fmt.Errorf("engine: restore sketch flag: %w", err)
+		}
+		switch flag {
+		case 0:
+		case 1:
+			snapSketch = true
+			if snapDim, err = binary.ReadUvarint(cr); err != nil || snapDim == 0 || snapDim > 1<<16 {
+				return fmt.Errorf("engine: restore sketch dim: %v", err)
+			}
+			var seedBuf [8]byte
+			if _, err := io.ReadFull(cr, seedBuf[:]); err != nil {
+				return fmt.Errorf("engine: restore sketch seed: %w", err)
+			}
+			snapSeed = binary.LittleEndian.Uint64(seedBuf[:])
+		default:
+			return fmt.Errorf("engine: restore sketch flag: bad value %d", flag)
+		}
+	}
 	sum := cr.crc.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
@@ -238,6 +303,21 @@ func (e *Engine) Restore(r io.Reader) error {
 	}
 	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != sum {
 		return fmt.Errorf("engine: snapshot crc mismatch: stored %08x, computed %08x", got, sum)
+	}
+
+	var snapVecs [][]float64
+	if snapSketch {
+		// The block must be consumed to reach the triangle even when this
+		// engine cannot use it (sketching disabled or reconfigured).
+		vecDim, vecs, err := matrixio.ReadVectors(br, int(numIDs))
+		if err != nil {
+			return fmt.Errorf("engine: restore sketches: %w", err)
+		}
+		if uint64(vecDim) != snapDim || len(vecs) != int(numIDs) {
+			return fmt.Errorf("engine: sketch block %dx%d does not match header %dx%d",
+				len(vecs), vecDim, numIDs, snapDim)
+		}
+		snapVecs = vecs
 	}
 
 	// numIDs is trustworthy here — the entries section it was read with
@@ -248,6 +328,30 @@ func (e *Engine) Restore(r io.Reader) error {
 	}
 	if g.Rows != int(numIDs) {
 		return fmt.Errorf("engine: snapshot matrix is %dx%d for %d ids", g.Rows, g.Cols, numIDs)
+	}
+
+	if e.sk != nil {
+		// Persisted vectors are used only when they were produced by this
+		// exact sketch configuration; otherwise (older snapshot, changed
+		// --sketch-* flags) the index is recomputed from the canonical
+		// strings, which yields the same bits the configured Sketcher
+		// would have persisted — sketches are deterministic in (string,
+		// dim, seed).
+		usePersisted := snapSketch && snapDim == uint64(e.sk.Dim()) && snapSeed == e.sk.Seed()
+		for id, en := range entries {
+			if en == nil {
+				continue
+			}
+			if usePersisted {
+				if snapVecs[id] == nil {
+					return fmt.Errorf("engine: snapshot has no sketch for live entry %d", id)
+				}
+				en.vec = snapVecs[id]
+			} else {
+				e.sketchEntry(en)
+			}
+			_ = e.ix.Add(id, en.vec)
+		}
 	}
 
 	e.entries = entries

@@ -59,6 +59,14 @@ func TestEngineConcurrentAddGram(t *testing.T) {
 						t.Errorf("Similar(%d): %v", ids[len(ids)-1], err)
 						return
 					}
+					if _, err := e.SimilarApprox(ids[len(ids)-1], 3, -1); err != nil {
+						t.Errorf("SimilarApprox(%d): %v", ids[len(ids)-1], err)
+						return
+					}
+				}
+				if _, err := e.SimilarTrace(xs[0], 3, -1); err != nil {
+					t.Errorf("SimilarTrace: %v", err)
+					return
 				}
 				e.Strings()
 			}

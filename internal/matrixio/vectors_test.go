@@ -1,0 +1,98 @@
+package matrixio
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func testVecs() (int, [][]float64) {
+	return 4, [][]float64{
+		{1, 0.5, -0.25, 1e-300},
+		nil, // tombstone
+		{math.Inf(1), math.NaN(), -0, 42},
+		nil,
+		{0, 0, 0, 0},
+	}
+}
+
+func TestVectorsRoundTrip(t *testing.T) {
+	dim, vecs := testVecs()
+	var buf bytes.Buffer
+	if err := WriteVectors(&buf, dim, vecs); err != nil {
+		t.Fatal(err)
+	}
+	// Trailing bytes after the block must be left unread (the engine
+	// snapshot places the Gram triangle there).
+	buf.WriteString("TRAILER")
+	gotDim, got, err := ReadVectors(&buf, len(vecs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotDim != dim || len(got) != len(vecs) {
+		t.Fatalf("read %d slots of width %d, want %d of %d", len(got), gotDim, len(vecs), dim)
+	}
+	for i, vec := range vecs {
+		if (vec == nil) != (got[i] == nil) {
+			t.Fatalf("slot %d presence mismatch", i)
+		}
+		for j, v := range vec {
+			if math.Float64bits(v) != math.Float64bits(got[i][j]) {
+				t.Fatalf("slot %d[%d]: %x != %x", i, j, math.Float64bits(v), math.Float64bits(got[i][j]))
+			}
+		}
+	}
+	if buf.String() != "TRAILER" {
+		t.Fatalf("block read consumed trailing bytes; %q left", buf.String())
+	}
+}
+
+func TestVectorsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVectors(&buf, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	dim, vecs, err := ReadVectors(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dim != 8 || len(vecs) != 0 {
+		t.Fatalf("got %d slots of width %d", len(vecs), dim)
+	}
+}
+
+func TestVectorsWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteVectors(&buf, 0, nil); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if err := WriteVectors(&buf, 4, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestVectorsCorruptionDetected(t *testing.T) {
+	dim, vecs := testVecs()
+	var buf bytes.Buffer
+	if err := WriteVectors(&buf, dim, vecs); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for _, flip := range []int{0, 9, 20, len(raw) - 2} {
+		dam := append([]byte(nil), raw...)
+		dam[flip] ^= 0x40
+		if _, _, err := ReadVectors(bytes.NewReader(dam), len(vecs)); err == nil {
+			t.Fatalf("flipping byte %d went undetected", flip)
+		}
+	}
+	for cut := 1; cut < len(raw); cut += 7 {
+		if _, _, err := ReadVectors(bytes.NewReader(raw[:cut]), len(vecs)); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
+	}
+	// Slot-count limit: a reader told to expect fewer slots must refuse.
+	if _, _, err := ReadVectors(bytes.NewReader(raw), len(vecs)-1); err == nil {
+		t.Fatal("slot count above the caller's bound accepted")
+	}
+}

@@ -1,0 +1,158 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Index is a flat in-memory sketch index: one fixed-width vector per
+// integer id, scanned linearly on search. For the corpus sizes one engine
+// shard holds, a contiguous scan of unit vectors is both simpler and
+// faster than tree- or graph-based ANN structures, and it is exact with
+// respect to the sketch scores — the only approximation in the pipeline
+// stays the sketch itself. Later sharding/ANN layers can replace this
+// behind the same interface.
+//
+// All methods are safe for concurrent use.
+type Index struct {
+	mu   sync.RWMutex
+	dim  int
+	vecs [][]float64 // id-indexed; nil = never added or removed
+	live int
+}
+
+// Candidate is one search result: an id and its sketch score (the cosine
+// of the unit sketches).
+type Candidate struct {
+	ID    int
+	Score float64
+}
+
+// NewIndex returns an empty index for vectors of the given width.
+func NewIndex(dim int) *Index {
+	if dim <= 0 {
+		dim = DefaultDim
+	}
+	return &Index{dim: dim}
+}
+
+// Dim returns the vector width.
+func (ix *Index) Dim() int { return ix.dim }
+
+// Len returns the number of live vectors.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.live
+}
+
+// Size returns the total number of id slots (live plus tombstoned).
+func (ix *Index) Size() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.vecs)
+}
+
+// Add stores vec under id, growing the id space as needed. The slice is
+// retained, not copied; callers must not mutate it afterwards. Replacing a
+// live id is an error — engine ids are never reused.
+func (ix *Index) Add(id int, vec []float64) error {
+	if len(vec) != ix.dim {
+		return fmt.Errorf("sketch: vector of width %d in index of width %d", len(vec), ix.dim)
+	}
+	if id < 0 {
+		return fmt.Errorf("sketch: negative id %d", id)
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for id >= len(ix.vecs) {
+		ix.vecs = append(ix.vecs, nil)
+	}
+	if ix.vecs[id] != nil {
+		return fmt.Errorf("sketch: id %d already indexed", id)
+	}
+	ix.vecs[id] = vec
+	ix.live++
+	return nil
+}
+
+// Remove tombstones id. Removing an absent id is a no-op returning false.
+func (ix *Index) Remove(id int) bool {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if id < 0 || id >= len(ix.vecs) || ix.vecs[id] == nil {
+		return false
+	}
+	ix.vecs[id] = nil
+	ix.live--
+	return true
+}
+
+// Vec returns the stored vector for id, or nil. The slice is the index's
+// own storage: read-only for the caller.
+func (ix *Index) Vec(id int) []float64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if id < 0 || id >= len(ix.vecs) {
+		return nil
+	}
+	return ix.vecs[id]
+}
+
+// Search scans every live vector and returns the k highest-scoring ids by
+// dot product with q (the sketch cosine, on unit vectors), in decreasing
+// score order with ties broken by ascending id. k < 0 returns all live
+// entries. exclude (if >= 0) is skipped — callers pass the query's own id.
+func (ix *Index) Search(q []float64, k, exclude int) []Candidate {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make([]Candidate, 0, ix.live)
+	for id, vec := range ix.vecs {
+		if vec == nil || id == exclude {
+			continue
+		}
+		out = append(out, Candidate{ID: id, Score: Dot(q, vec)})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+	if k >= 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// Equal reports whether two indexes hold bit-identical state: same width,
+// same id space, same tombstones, and per-id vectors equal bit for bit
+// (NaNs compare by bit pattern, so even those would have to match). Tests
+// use it to assert that incremental, batch, and recovered engines build
+// the same index.
+func (ix *Index) Equal(o *Index) bool {
+	if ix == nil || o == nil {
+		return ix == o
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	if ix.dim != o.dim || ix.live != o.live || len(ix.vecs) != len(o.vecs) {
+		return false
+	}
+	for id, vec := range ix.vecs {
+		ov := o.vecs[id]
+		if (vec == nil) != (ov == nil) {
+			return false
+		}
+		for i, v := range vec {
+			if math.Float64bits(v) != math.Float64bits(ov[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

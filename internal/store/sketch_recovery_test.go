@@ -1,0 +1,104 @@
+package store
+
+import (
+	"math"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+)
+
+func sketchEngine() *engine.Engine {
+	return engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, SketchSeed: 11})
+}
+
+// sameSketches asserts the two engines hold bit-identical sketch indexes:
+// same id space, same tombstones, identical vector bits per id.
+func sameSketches(t *testing.T, a, b *engine.Engine, context string) {
+	t.Helper()
+	if a.NextID() != b.NextID() {
+		t.Fatalf("%s: id space %d vs %d", context, a.NextID(), b.NextID())
+	}
+	for id := 0; id < a.NextID(); id++ {
+		va, vb := a.SketchVec(id), b.SketchVec(id)
+		if (va == nil) != (vb == nil) {
+			t.Fatalf("%s: id %d sketch presence mismatch", context, id)
+		}
+		for i := range va {
+			if math.Float64bits(va[i]) != math.Float64bits(vb[i]) {
+				t.Fatalf("%s: id %d sketch bit mismatch at %d", context, id, i)
+			}
+		}
+	}
+}
+
+// TestSketchCrashRecovery covers both recovery paths for the sketch
+// index: WAL-only replay (sketches recomputed deterministically from the
+// replayed traces) and snapshot restore (sketches loaded from persisted
+// bits), each interleaved with single Adds, a batch, and a removal. The
+// recovered index must be bit-identical and answer approximate queries
+// identically.
+func TestSketchCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	xs := corpus(t, 20, 3)
+
+	eng, st, err := Open(dir, sketchEngine, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[:5] {
+		eng.Add(x)
+	}
+	if _, err := eng.AddBatch(xs[5:12]); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Remove(2); err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot mid-stream: everything up to here restores from persisted
+	// vector bits.
+	if err := st.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Tail after the snapshot: replayed from the WAL, sketches recomputed.
+	for _, x := range xs[12:] {
+		eng.Add(x)
+	}
+	if err := eng.Remove(15); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill: no Close.
+
+	reng, st2, err := Open(dir, sketchEngine, Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	sameSketches(t, eng, reng, "after crash recovery")
+
+	for _, id := range []int{0, 7, 18} {
+		want, err := eng.SimilarApprox(id, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reng.SimilarApprox(id, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("id %d: %d vs %d neighbors", id, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("id %d neighbor %d: %+v vs %+v", id, i, want[i], got[i])
+			}
+		}
+	}
+	// Tombstones survived into the index.
+	if reng.SketchVec(2) != nil || reng.SketchVec(15) != nil {
+		t.Fatal("tombstoned ids still have sketches after recovery")
+	}
+}

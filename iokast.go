@@ -68,6 +68,10 @@ type (
 	// Engine is an incremental Gram engine: a stateful corpus whose kernel
 	// matrix is maintained under single-trace Add/Remove, paying O(N)
 	// kernel evaluations per insertion instead of a full O(N^2) recompute.
+	// It also maintains a fixed-width sketch per entry (internal/sketch),
+	// so Engine.SimilarApprox and Engine.SimilarTrace answer similarity
+	// queries from an O(N*dim) index scan plus an exact rerank of a small
+	// shortlist — including query-by-trace for strings never ingested.
 	Engine = engine.Engine
 	// EngineOptions configure NewEngine.
 	EngineOptions = engine.Options
