@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"iokast/internal/cli"
@@ -24,22 +25,36 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "directory of .trace files")
-	matrixPath := flag.String("matrix", "", "precomputed similarity matrix (.csv/.json from iokmatrix) instead of -dir")
-	kernelName := flag.String("kernel", "kast", "kernel: kast, blended, spectrum or bagoftokens")
-	cut := flag.Int("cut", 2, "cut weight")
-	k := flag.Int("k", 0, "substring length bound for blended/spectrum (0 = default)")
-	count := flag.Bool("count", false, "count occurrences instead of summing weights")
-	clusters := flag.Int("clusters", 3, "flat cluster count to cut at")
-	linkageName := flag.String("linkage", "single", "linkage: single, complete or average")
-	noBytes := flag.Bool("nobytes", false, "ignore byte counts")
-	depth := flag.Int("depth", 3, "dendrogram rendering depth")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: flags come from args, output
+// goes to the given writers, and the exit code is returned instead of
+// calling os.Exit.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("iokcluster", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	dir := flags.String("dir", "", "directory of .trace files")
+	matrixPath := flags.String("matrix", "", "precomputed similarity matrix (.csv/.json from iokmatrix) instead of -dir")
+	kernelName := flags.String("kernel", "kast", "kernel: kast, blended, spectrum or bagoftokens")
+	cut := flags.Int("cut", 2, "cut weight")
+	k := flags.Int("k", 0, "substring length bound for blended/spectrum (0 = default)")
+	count := flags.Bool("count", false, "count occurrences instead of summing weights")
+	clusters := flags.Int("clusters", 3, "flat cluster count to cut at")
+	linkageName := flags.String("linkage", "single", "linkage: single, complete or average")
+	noBytes := flags.Bool("nobytes", false, "ignore byte counts")
+	depth := flags.Int("depth", 3, "dendrogram rendering depth")
+	if err := flags.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if (*dir == "") == (*matrixPath == "") {
-		fmt.Fprintln(os.Stderr, "iokcluster: exactly one of -dir or -matrix is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iokcluster: exactly one of -dir or -matrix is required")
+		flags.Usage()
+		return 2
 	}
 	var linkage cluster.Linkage
 	switch *linkageName {
@@ -50,8 +65,8 @@ func main() {
 	case "average":
 		linkage = cluster.Average
 	default:
-		fmt.Fprintf(os.Stderr, "iokcluster: unknown linkage %q\n", *linkageName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "iokcluster: unknown linkage %q\n", *linkageName)
+		return 2
 	}
 
 	var (
@@ -64,8 +79,8 @@ func main() {
 	if *matrixPath != "" {
 		named, err := cli.LoadMatrix(*matrixPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokcluster: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "iokcluster: %v\n", err)
+			return 1
 		}
 		sim = named.Matrix
 		labels = named.Names
@@ -73,15 +88,15 @@ func main() {
 	} else {
 		traces, err := cli.LoadTraceDir(*dir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokcluster: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "iokcluster: %v\n", err)
+			return 1
 		}
 		xs := core.ConvertAll(traces, core.Options{IgnoreBytes: *noBytes})
 		spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
 		sim, clipped, err = spec.Similarity(xs, true)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokcluster: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "iokcluster: %v\n", err)
+			return 1
 		}
 		labels = make([]string, len(traces))
 		for i, t := range traces {
@@ -97,22 +112,23 @@ func main() {
 	}
 	dg, err := cluster.Cluster(kernel.KernelDistance(sim), linkage)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokcluster: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokcluster: %v\n", err)
+		return 1
 	}
 
-	fmt.Printf("%d traces, %d negative eigenvalues clipped, linkage=%s\n\n", count2, clipped, linkage)
-	fmt.Printf("dendrogram (depth %d):\n%s\n", *depth, plot.RenderDendrogram(dg, labels, *depth, 4))
+	fmt.Fprintf(stdout, "%d traces, %d negative eigenvalues clipped, linkage=%s\n\n", count2, clipped, linkage)
+	fmt.Fprintf(stdout, "dendrogram (depth %d):\n%s\n", *depth, plot.RenderDendrogram(dg, labels, *depth, 4))
 	assign := dg.Cut(*clusters)
-	fmt.Printf("flat clustering at k=%d:\n%s", *clusters, plot.RenderClusterSummary(assign, labels))
-	fmt.Printf("natural cluster count (largest height gap): %d\n", dg.NaturalK(6))
+	fmt.Fprintf(stdout, "flat clustering at k=%d:\n%s", *clusters, plot.RenderClusterSummary(assign, labels))
+	fmt.Fprintf(stdout, "natural cluster count (largest height gap): %d\n", dg.NaturalK(6))
 
 	if haveLabels {
 		if p, err := cluster.Purity(assign, labels); err == nil {
-			fmt.Printf("purity vs labels: %.4f\n", p)
+			fmt.Fprintf(stdout, "purity vs labels: %.4f\n", p)
 		}
 		if ari, err := cluster.AdjustedRandIndex(assign, labels); err == nil {
-			fmt.Printf("adjusted Rand index vs labels: %.4f\n", ari)
+			fmt.Fprintf(stdout, "adjusted Rand index vs labels: %.4f\n", ari)
 		}
 	}
+	return 0
 }

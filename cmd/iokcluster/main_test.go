@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// runCluster invokes the command body and returns (stdout, stderr, code).
+func runCluster(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errw bytes.Buffer
+	code := run(args, &out, &errw)
+	return out.String(), errw.String(), code
+}
+
+func checkGolden(t *testing.T, got, goldenPath string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output does not match %s\n--- got ---\n%s\n--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+func TestGoldenTraceDir(t *testing.T) {
+	out, errOut, code := runCluster(t, "-dir", filepath.Join("testdata", "traces"), "-clusters", "2")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "traces.golden"))
+}
+
+func TestGoldenCompleteLinkage(t *testing.T) {
+	out, errOut, code := runCluster(t, "-dir", filepath.Join("testdata", "traces"),
+		"-clusters", "2", "-linkage", "complete", "-kernel", "blended")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "traces_complete.golden"))
+}
+
+func TestGoldenMatrix(t *testing.T) {
+	out, errOut, code := runCluster(t, "-matrix", filepath.Join("testdata", "sim.json"), "-clusters", "2")
+	if code != 0 || errOut != "" {
+		t.Fatalf("exit %d, stderr %q", code, errOut)
+	}
+	checkGolden(t, out, filepath.Join("testdata", "matrix.golden"))
+}
+
+func TestErrors(t *testing.T) {
+	if _, errOut, code := runCluster(t); code != 2 || !strings.Contains(errOut, "exactly one") {
+		t.Fatalf("no input: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCluster(t, "-dir", "x", "-matrix", "y"); code != 2 || !strings.Contains(errOut, "exactly one") {
+		t.Fatalf("both inputs: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCluster(t, "-dir", "testdata/traces", "-linkage", "nope"); code != 2 || !strings.Contains(errOut, "unknown linkage") {
+		t.Fatalf("bad linkage: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCluster(t, "-dir", "testdata/does-not-exist"); code != 1 || errOut == "" {
+		t.Fatalf("missing dir: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCluster(t, "-matrix", "testdata/does-not-exist.json"); code != 1 || errOut == "" {
+		t.Fatalf("missing matrix: exit %d, stderr %q", code, errOut)
+	}
+	if _, errOut, code := runCluster(t, "-dir", "testdata/traces", "-kernel", "nope"); code != 1 || errOut == "" {
+		t.Fatalf("bad kernel: exit %d, stderr %q", code, errOut)
+	}
+	if _, _, code := runCluster(t, "-badflag"); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}

@@ -14,11 +14,23 @@
 // O(N*dim) index scan plus an exact kernel rerank of a small shortlist —
 // and for traces that are not in the corpus at all (query-by-trace).
 //
+// With --shards=N (N > 1) the corpus is sharded: N independent
+// engine+store pairs behind one id space, each trace routed to exactly one
+// shard by a seeded hash of its id, similarity queries fanned out to every
+// shard in parallel and merged exactly — results stay bit-identical to the
+// single-engine answers. Ingest work and lock contention drop by the shard
+// count; the price is that /gram (which would need cross-shard kernel
+// values) is unavailable. --shards=1 (the default) runs the classic single
+// engine and stays byte-compatible with existing --data-dir layouts; a
+// sharded data dir carries a MANIFEST pinning shard count, routing seed,
+// and kernel/sketch config, and refuses to open under different flags.
+//
 // Usage:
 //
 //	iokserve [-addr :8080] [-kernel kast] [-cut 2] [-k 5] [-count]
 //	         [-nobytes] [-workers 0] [-data-dir DIR] [-snapshot-every 1024]
 //	         [-nosync] [-sketch-dim 256] [-sketch-seed 0]
+//	         [-shards 1] [-shard-seed 0]
 //
 // Endpoints:
 //
@@ -53,6 +65,7 @@ import (
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/shard"
 	"iokast/internal/sketch"
 	"iokast/internal/store"
 )
@@ -70,6 +83,8 @@ func main() {
 	noSync := flag.Bool("nosync", false, "skip fsync per WAL append (faster, loses recent writes on machine crash)")
 	sketchDim := flag.Int("sketch-dim", sketch.DefaultDim, "sketch vector width for approximate similarity (0 disables sketching)")
 	sketchSeed := flag.Uint64("sketch-seed", 0, "seed for the sketch hashes (must match across restarts sharing a data dir to reuse persisted sketches)")
+	shards := flag.Int("shards", 1, "number of corpus shards (1 = classic single engine, byte-compatible with existing data dirs)")
+	shardSeed := flag.Uint64("shard-seed", 0, "seed for the id-routing hash (pinned by a sharded data dir's MANIFEST)")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -78,32 +93,65 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
 		os.Exit(2)
 	}
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "iokserve: -shards must be >= 1, got %d\n", *shards)
+		os.Exit(2)
+	}
 
 	eopt := engine.Options{Kernel: kern, Workers: *workers, SketchDim: *sketchDim, SketchSeed: *sketchSeed}
 	if *sketchDim <= 0 {
 		eopt.SketchDim = -1
 	}
+	sopt := store.Options{SnapshotEvery: *snapshotEvery, NoSync: *noSync}
+
 	var (
-		eng *engine.Engine
-		st  *store.Store
+		srv        *server
+		checkpoint func() error // non-nil when shutdown must close a store
 	)
-	if *dataDir != "" {
-		eng, st, err = store.Open(*dataDir, func() *engine.Engine { return engine.New(eopt) },
-			store.Options{SnapshotEvery: *snapshotEvery, NoSync: *noSync})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokserve: open %s: %v\n", *dataDir, err)
-			os.Exit(1)
+	if *shards > 1 {
+		shopt := shard.Options{Shards: *shards, Seed: *shardSeed, Engine: eopt, Store: sopt}
+		var sh *shard.Sharded
+		if *dataDir != "" {
+			sh, err = shard.Open(*dataDir, shopt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iokserve: open %s: %v\n", *dataDir, err)
+				os.Exit(1)
+			}
+			if n := sh.Repaired(); n > 0 {
+				log.Printf("iokserve: recovery reconciled a torn batch (%d slots plugged)", n)
+			}
+			log.Printf("iokserve: recovered %d traces across %d shards from %s", sh.Len(), sh.Shards(), *dataDir)
+			checkpoint = sh.Close
+		} else {
+			if sh, err = shard.New(shopt); err != nil {
+				fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
+				os.Exit(1)
+			}
 		}
-		log.Printf("iokserve: recovered %d traces (seq %d) from %s", eng.Len(), eng.Seq(), *dataDir)
+		srv = newShardedServer(sh, core.Options{IgnoreBytes: *noBytes})
 	} else {
-		eng = engine.New(eopt)
+		var (
+			eng *engine.Engine
+			st  *store.Store
+		)
+		if *dataDir != "" {
+			eng, st, err = store.Open(*dataDir, func() *engine.Engine { return engine.New(eopt) }, sopt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iokserve: open %s: %v\n", *dataDir, err)
+				os.Exit(1)
+			}
+			log.Printf("iokserve: recovered %d traces (seq %d) from %s", eng.Len(), eng.Seq(), *dataDir)
+			checkpoint = st.Close
+		} else {
+			eng = engine.New(eopt)
+		}
+		srv = newServer(eng, st, core.Options{IgnoreBytes: *noBytes})
 	}
 
-	srv := newServer(eng, st, core.Options{IgnoreBytes: *noBytes})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	done := make(chan struct{})
-	if st != nil {
+	if checkpoint != nil {
 		// Checkpoint on SIGINT/SIGTERM so the next boot restores from the
 		// snapshot instead of replaying the whole WAL. The HTTP server is
 		// drained first: a mutation acknowledged mid-shutdown must still
@@ -121,7 +169,7 @@ func main() {
 				log.Printf("iokserve: drain incomplete: %v", err)
 			}
 			log.Printf("iokserve: checkpointing %s", *dataDir)
-			if err := st.Close(); err != nil {
+			if err := checkpoint(); err != nil {
 				log.Printf("iokserve: checkpoint failed: %v", err)
 			}
 			close(done)

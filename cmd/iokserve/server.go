@@ -10,7 +10,9 @@ import (
 
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/kernel"
 	"iokast/internal/linalg"
+	"iokast/internal/shard"
 	"iokast/internal/store"
 	"iokast/internal/token"
 	"iokast/internal/trace"
@@ -27,17 +29,50 @@ const maxBatchBody = 64 << 20
 // ingests should be split, which also bounds single-record WAL frames.
 const maxBatchTraces = 4096
 
-// server routes HTTP requests onto one shared engine. Concurrency control
-// lives entirely in the engine; handlers hold no state of their own.
+// corpus is the query/mutation surface the handlers need; both the single
+// engine.Engine and the multi-shard shard.Sharded satisfy it, so every
+// endpoint except /gram works identically in either mode.
+type corpus interface {
+	Add(x token.String) int
+	AddBatch(xs []token.String) ([]int, error)
+	Remove(id int) error
+	Similar(id, k int) ([]engine.Neighbor, error)
+	SimilarApprox(id, k, rerank int) ([]engine.Neighbor, error)
+	SimilarTrace(x token.String, k, rerank int) ([]engine.Neighbor, error)
+	Len() int
+	Err() error
+	Kernel() kernel.Kernel
+	SketchConfig() (dim int, seed uint64, enabled bool)
+}
+
+// server routes HTTP requests onto one shared corpus. Concurrency control
+// lives entirely in the corpus; handlers hold no state of their own.
 type server struct {
-	eng  *engine.Engine
-	st   *store.Store // nil when running without --data-dir
+	c    corpus
+	eng  *engine.Engine // single-engine mode only: serves /gram
+	st   *store.Store   // single-engine mode: nil without --data-dir
+	sh   *shard.Sharded // sharded mode only
 	copt core.Options
 	mux  *http.ServeMux
 }
 
 func newServer(eng *engine.Engine, st *store.Store, copt core.Options) *server {
-	s := &server{eng: eng, st: st, copt: copt, mux: http.NewServeMux()}
+	s := &server{c: eng, eng: eng, st: st, copt: copt}
+	s.routes()
+	return s
+}
+
+// newShardedServer serves a multi-shard corpus. /gram is unavailable in
+// this mode: the corpus maintains no cross-shard Gram entries, which is
+// exactly what lets ingest scale with the shard count.
+func newShardedServer(sh *shard.Sharded, copt core.Options) *server {
+	s := &server{c: sh, sh: sh, copt: copt}
+	s.routes()
+	return s
+}
+
+func (s *server) routes() {
+	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/traces/batch", s.handleTracesBatch)
 	s.mux.HandleFunc("/traces/", s.handleTraceByID)
@@ -45,7 +80,6 @@ func newServer(eng *engine.Engine, st *store.Store, copt core.Options) *server {
 	s.mux.HandleFunc("/gram", s.handleGram)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
-	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -79,8 +113,8 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	id := s.eng.Add(x)
-	if err := s.eng.Err(); err != nil {
+	id := s.c.Add(x)
+	if err := s.c.Err(); err != nil {
 		// Ingested in memory but not persisted: tell the client instead of
 		// silently serving state a restart would lose.
 		httpError(w, http.StatusInternalServerError, "trace %d accepted but persistence failed: %v", id, err)
@@ -146,12 +180,12 @@ func (s *server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 		xs[i] = core.Convert(tr, s.copt)
 		metas[i] = meta{Name: tr.Name, Tokens: len(xs[i]), Weight: xs[i].Weight()}
 	}
-	ids, err := s.eng.AddBatch(xs)
+	ids, err := s.c.AddBatch(xs)
 	if err == nil {
 		// Also honour the sticky error: after any earlier WAL failure the
 		// log has a gap, so even a batch whose own append succeeded is not
 		// recoverable and must not be acknowledged as durable.
-		err = s.eng.Err()
+		err = s.c.Err()
 	}
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, "batch accepted but persistence failed: %v", err)
@@ -177,7 +211,7 @@ func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "only DELETE is supported on /traces/{id}")
 		return
 	}
-	if err := s.eng.Remove(id); err != nil {
+	if err := s.c.Remove(id); err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
@@ -228,10 +262,10 @@ func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 	approx := r.URL.Query().Get("approx")
 	var ns []engine.Neighbor
 	if approx == "1" || approx == "true" {
-		ns, err = s.eng.SimilarApprox(id, k, rerank)
+		ns, err = s.c.SimilarApprox(id, k, rerank)
 		if err != nil {
 			status := http.StatusNotFound
-			if _, _, enabled := s.eng.SketchConfig(); !enabled {
+			if _, _, enabled := s.c.SketchConfig(); !enabled {
 				status = http.StatusConflict // run without -sketch-dim 0
 			}
 			httpError(w, status, "%v", err)
@@ -242,7 +276,7 @@ func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	ns, err = s.eng.Similar(id, k)
+	ns, err = s.c.Similar(id, k)
 	if err != nil {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
@@ -263,7 +297,7 @@ func (s *server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ns, err := s.eng.SimilarTrace(x, k, rerank)
+	ns, err := s.c.SimilarTrace(x, k, rerank)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -280,6 +314,11 @@ func (s *server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET /gram")
+		return
+	}
+	if s.eng == nil {
+		httpError(w, http.StatusNotImplemented,
+			"no global Gram matrix in sharded mode (%d shards hold no cross-shard entries); use /similar", s.sh.Shards())
 		return
 	}
 	var (
@@ -309,9 +348,24 @@ func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"status": "ok", "traces": s.eng.Len()}
+	resp := map[string]any{"status": "ok", "traces": s.c.Len()}
 	status := http.StatusOK
-	if err := s.eng.Err(); err != nil {
+	if s.sh != nil {
+		// Per-shard health: one degraded shard degrades the whole instance
+		// (a fraction of the id space is no longer durable), and the probe
+		// names the shards so operators can see which WALs are failing.
+		resp["shards"] = s.sh.Shards()
+		var down []int
+		for i, err := range s.sh.Errs() {
+			if err != nil {
+				down = append(down, i)
+			}
+		}
+		if len(down) > 0 {
+			resp["degraded_shards"] = down
+		}
+	}
+	if err := s.c.Err(); err != nil {
 		// Still serving, but mutations are no longer reaching the WAL:
 		// degraded, so orchestrators can rotate the instance out.
 		resp["status"] = "degraded"
@@ -324,6 +378,12 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET /debug/store")
+		return
+	}
+	if s.sh != nil && s.sh.Durable() {
+		// One stats object per shard: each has its own WAL, snapshot chain,
+		// and replay backlog.
+		writeJSON(w, http.StatusOK, map[string]any{"shards": s.sh.Stats()})
 		return
 	}
 	if s.st == nil {

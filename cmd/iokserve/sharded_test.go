@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/shard"
+	"iokast/internal/store"
+)
+
+func kastEngineOptions() engine.Options {
+	return engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2}
+}
+
+func shardedOptions(shards int) shard.Options {
+	return shard.Options{
+		Shards: shards,
+		Seed:   7,
+		Engine: kastEngineOptions(),
+		Store:  store.Options{SnapshotEvery: -1},
+	}
+}
+
+func testShardedServer(t *testing.T, shards int) *server {
+	t.Helper()
+	sh, err := shard.New(shardedOptions(shards))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newShardedServer(sh, core.Options{})
+}
+
+// TestShardedServeLifecycle drives the full HTTP surface against a
+// 3-shard corpus: ingest (single and batch), exact and approximate
+// similarity, query-by-trace, delete, health — everything except /gram,
+// which has no cross-shard matrix to serve and must say so.
+func TestShardedServeLifecycle(t *testing.T) {
+	s := testShardedServer(t, 3)
+
+	for i, body := range []string{traceA, traceA, traceB} {
+		resp := doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)
+		if int(resp["id"].(float64)) != i {
+			t.Fatalf("POST #%d: id = %v", i, resp["id"])
+		}
+	}
+	resp := doJSON(t, s, http.MethodPost, "/traces/batch",
+		fmt.Sprintf(`{"traces": [%q, %q]}`, traceB, traceA), http.StatusCreated)
+	if n := resp["count"].(float64); n != 2 {
+		t.Fatalf("batch count = %v", n)
+	}
+
+	// The duplicate of trace 0 must be its perfect neighbour, across shards.
+	resp = doJSON(t, s, http.MethodGet, "/similar?id=0&k=1", "", http.StatusOK)
+	ns := resp["neighbors"].([]any)
+	if len(ns) != 1 {
+		t.Fatalf("neighbors = %v", ns)
+	}
+	top := ns[0].(map[string]any)
+	if int(top["id"].(float64)) != 1 || top["similarity"].(float64) < 0.999999 {
+		t.Fatalf("top neighbour = %v, want id 1 at similarity 1", top)
+	}
+	// Approximate path and query-by-trace work shard-fanned too.
+	doJSON(t, s, http.MethodGet, "/similar?id=0&k=2&approx=1", "", http.StatusOK)
+	resp = doJSON(t, s, http.MethodPost, "/similar?k=3", traceA, http.StatusOK)
+	if got := resp["neighbors"].([]any); len(got) != 3 {
+		t.Fatalf("query-by-trace neighbors = %v", got)
+	}
+
+	// /gram is explicit about why it cannot answer.
+	resp = doJSON(t, s, http.MethodGet, "/gram", "", http.StatusNotImplemented)
+	if !strings.Contains(resp["error"].(string), "sharded") {
+		t.Fatalf("gram error = %v", resp["error"])
+	}
+
+	doJSON(t, s, http.MethodDelete, "/traces/1", "", http.StatusOK)
+	doJSON(t, s, http.MethodDelete, "/traces/1", "", http.StatusNotFound)
+	resp = doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != 4 {
+		t.Fatalf("healthz traces = %v after delete", n)
+	}
+	if n := resp["shards"].(float64); n != 3 {
+		t.Fatalf("healthz shards = %v", n)
+	}
+	// In-memory sharded corpus has no stores to report.
+	doJSON(t, s, http.MethodGet, "/debug/store", "", http.StatusNotFound)
+}
+
+// TestShardedServeConcurrent hammers the sharded HTTP surface from many
+// goroutines (batch ingest, deletes, exact and query-by-trace reads) under
+// the race detector.
+func TestShardedServeConcurrent(t *testing.T) {
+	s := testShardedServer(t, 4)
+	// Seed entries so reads always have targets.
+	doJSON(t, s, http.MethodPost, "/traces/batch",
+		fmt.Sprintf(`{"traces": [%q, %q, %q]}`, traceA, traceB, traceA), http.StatusCreated)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 8; r++ {
+				// Batch-ingest two, delete one of them.
+				rec := httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/traces/batch",
+					strings.NewReader(fmt.Sprintf(`{"traces": [%q, %q]}`, traceA, traceB))))
+				if rec.Code != http.StatusCreated {
+					t.Errorf("batch: %d %s", rec.Code, rec.Body)
+					return
+				}
+				var resp struct {
+					Traces []struct{ ID int } `json:"traces"`
+				}
+				if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+					t.Error(err)
+					return
+				}
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodDelete,
+					fmt.Sprintf("/traces/%d", resp.Traces[0].ID), nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("delete: %d %s", rec.Code, rec.Body)
+					return
+				}
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/similar?id=0&k=3", nil))
+				if rec.Code != http.StatusOK {
+					t.Errorf("similar: %d %s", rec.Code, rec.Body)
+					return
+				}
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/similar?k=2", strings.NewReader(traceB)))
+				if rec.Code != http.StatusOK {
+					t.Errorf("query-by-trace: %d %s", rec.Code, rec.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestShardedServeRecovery is the HTTP-level crash test: ingest through a
+// durable sharded server, kill it (no Close), then bring up a new server
+// over the same directory and check the corpus, the per-shard stats, and
+// the similarity answers survived.
+func TestShardedServeRecovery(t *testing.T) {
+	dir := t.TempDir()
+	opt := shardedOptions(3)
+	sh, err := shard.Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newShardedServer(sh, core.Options{})
+	doJSON(t, s, http.MethodPost, "/traces/batch",
+		fmt.Sprintf(`{"traces": [%q, %q, %q, %q]}`, traceA, traceA, traceB, traceB), http.StatusCreated)
+	doJSON(t, s, http.MethodDelete, "/traces/3", "", http.StatusOK)
+	want := doJSON(t, s, http.MethodGet, "/similar?id=0&k=2", "", http.StatusOK)
+	// Kill: the server and its stores are simply abandoned.
+
+	sh2, err := shard.Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	s2 := newShardedServer(sh2, core.Options{})
+	resp := doJSON(t, s2, http.MethodGet, "/healthz", "", http.StatusOK)
+	if n := resp["traces"].(float64); n != 3 {
+		t.Fatalf("recovered traces = %v, want 3", n)
+	}
+	got := doJSON(t, s2, http.MethodGet, "/similar?id=0&k=2", "", http.StatusOK)
+	if fmt.Sprint(want["neighbors"]) != fmt.Sprint(got["neighbors"]) {
+		t.Fatalf("similar diverged across recovery:\n want %v\n got %v", want["neighbors"], got["neighbors"])
+	}
+	resp = doJSON(t, s2, http.MethodGet, "/debug/store", "", http.StatusOK)
+	stats := resp["shards"].([]any)
+	if len(stats) != 3 {
+		t.Fatalf("debug/store shards = %v", stats)
+	}
+	for i, st := range stats {
+		if dir := st.(map[string]any)["dir"].(string); !strings.Contains(dir, shard.ShardDir(i)) {
+			t.Fatalf("shard %d stats dir = %q", i, dir)
+		}
+	}
+}

@@ -451,6 +451,20 @@ func (e *Engine) Strings() ([]token.String, []int) {
 	return xs, ids
 }
 
+// StringAt returns a copy of the live corpus string with the given id. ok
+// is false for ids that were never assigned or have been removed. It is the
+// single-entry form of Strings, exported for supervisors (internal/shard)
+// that resolve a query trace from its owner shard before fanning the query
+// out.
+func (e *Engine) StringAt(id int) (token.String, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
+		return nil, false
+	}
+	return append(token.String(nil), e.entries[id].x...), true
+}
+
 // NormalizedGram returns the paper's post-processed similarity matrix over
 // the live entries: Eq. 12 normalisation plus PSD repair for Kast kernels,
 // cosine normalisation plus PSD repair otherwise — exactly the
@@ -575,7 +589,7 @@ func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
 		}
 		out = append(out, Neighbor{ID: c.ID, Similarity: v})
 	}
-	sortNeighbors(out)
+	SortNeighbors(out)
 	if k >= 0 && k < len(out) {
 		out = out[:k]
 	}
@@ -644,7 +658,7 @@ func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error)
 		}
 		out = append(out, Neighbor{ID: c.ID, Similarity: v})
 	}
-	sortNeighbors(out)
+	SortNeighbors(out)
 	if k >= 0 && k < len(out) {
 		out = out[:k]
 	}
@@ -661,10 +675,13 @@ func neighbors(cands []sketch.Candidate) []Neighbor {
 	return out
 }
 
-// sortNeighbors orders by decreasing similarity with ties by ascending id
+// SortNeighbors orders by decreasing similarity with ties by ascending id
 // — the order Similar produces (its stable sort over an id-ascending scan
 // breaks ties the same way), so rerank results compare equal to Similar's.
-func sortNeighbors(out []Neighbor) {
+// It is exported because the exact-merge guarantee of internal/shard
+// depends on applying this exact ordering to merged per-shard results;
+// there must be one definition of it.
+func SortNeighbors(out []Neighbor) {
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].Similarity != out[b].Similarity {
 			return out[a].Similarity > out[b].Similarity

@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+// benchStrings builds n deterministic synthetic weighted strings, small
+// enough (6–14 tokens) that an N=1024 corpus is benchable: the point of
+// these benchmarks is how pair work scales with the shard count, not the
+// per-pair kernel cost (BenchmarkKastCompare measures that on real-sized
+// traces).
+func benchStrings(n int) []token.String {
+	vocab := []string{"read[4096]", "read[512]", "write[4096]", "write[64]", "lseek[0]", "open[0]", "close[0]", "fsync[0]"}
+	r := xrand.New(0xb0b)
+	xs := make([]token.String, n)
+	for i := range xs {
+		m := r.IntRange(6, 14)
+		s := token.String{{Literal: token.LitRoot, Weight: 1}}
+		for j := 0; j < m; j++ {
+			s = append(s, token.Token{Literal: vocab[r.Intn(len(vocab))], Weight: r.IntRange(1, 4)})
+		}
+		xs[i] = s
+	}
+	return xs
+}
+
+func benchEngineOptions() engine.Options {
+	return engine.Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: -1}
+}
+
+// BenchmarkShardedAddBatch ingests N=1024 strings in one batch, single
+// engine vs 4 shards. Sharding drops the pair work from N^2/2 kernel
+// evaluations to N^2/(2*shards) (cross-shard pairs are never computed) and
+// runs the per-shard sub-batches in parallel, so ingest scales near-
+// linearly with the shard count.
+func BenchmarkShardedAddBatch(b *testing.B) {
+	xs := benchStrings(1024)
+	b.Run("single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			eng := engine.New(benchEngineOptions())
+			if _, err := eng.AddBatch(xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sh, err := New(Options{Shards: shards, Engine: benchEngineOptions()})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sh.AddBatch(xs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkShardedSimilar answers top-10 queries over an N=1024 corpus.
+// The single engine reads its cached Gram row; the sharded corpus
+// recomputes one kernel row, fanned out across shards — the price of
+// having no cross-shard Gram state, bounded by parallelism.
+func BenchmarkShardedSimilar(b *testing.B) {
+	const n = 1024
+	xs := benchStrings(n)
+	b.Run("single", func(b *testing.B) {
+		eng := engine.New(benchEngineOptions())
+		if _, err := eng.AddBatch(xs); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Similar(i%n, 10); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, shards := range []int{4} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			sh, err := New(Options{Shards: shards, Engine: benchEngineOptions()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sh.AddBatch(xs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sh.Similar(i%n, 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

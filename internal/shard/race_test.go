@@ -1,0 +1,136 @@
+package shard
+
+import (
+	"sync"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/store"
+	"iokast/internal/token"
+)
+
+// TestConcurrentMutationsAndQueries hammers one sharded corpus from many
+// goroutines — batch ingest, single adds, removals of own ids, exact and
+// query-by-trace similarity, stats — and relies on the race detector (CI
+// runs the suite under -race) to catch unsynchronised access between the
+// supervisor's mapping, the ingest serialisation, and the per-shard
+// engines.
+func TestConcurrentMutationsAndQueries(t *testing.T) {
+	xs := corpus(t, 24, 21)
+	sh, err := New(Options{Shards: 4, Seed: 3, Engine: engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed corpus so queries have something to chew on from the start.
+	if _, err := sh.AddBatch(xs[:8]); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const rounds = 12
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) { // batcher + remover of its own ids
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				batch := []token.String{xs[(w+r)%len(xs)], xs[(w+r+5)%len(xs)]}
+				ids, err := sh.AddBatch(batch)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := sh.Remove(ids[0]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) { // single adds
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				sh.Add(xs[(w*7+r)%len(xs)])
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) { // queries: by id (may race with removal — errors ok)
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if ns, err := sh.Similar((w+r)%8, 5); err == nil && len(ns) == 0 && sh.Len() > 1 {
+					t.Error("Similar returned no neighbors on a populated corpus")
+					return
+				}
+				if _, err := sh.SimilarTrace(xs[(w+r)%len(xs)], 3, -1); err != nil {
+					t.Error(err)
+					return
+				}
+				sh.Len()
+				sh.Strings()
+				_ = sh.Err()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sh.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The corpus is still coherent: every live id resolves and queries run.
+	_, ids := sh.Strings()
+	for _, id := range ids {
+		if _, err := sh.Similar(id, 3); err != nil {
+			t.Fatalf("post-race Similar(%d): %v", id, err)
+		}
+	}
+}
+
+// TestConcurrentDurableIngest repeats the hammering against a durable
+// corpus, so WAL appends, auto-snapshots, and the supervisor all overlap,
+// then reopens to check nothing torn was acknowledged.
+func TestConcurrentDurableIngest(t *testing.T) {
+	dir := t.TempDir()
+	xs := corpus(t, 16, 22)
+	opt := Options{
+		Shards: 3, Seed: 9,
+		Engine: engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2, SketchDim: -1},
+		// Tiny cadence so automatic snapshots race the ingest on purpose.
+		Store: store.Options{SnapshotEvery: 8},
+	}
+	sh, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				if _, err := sh.AddBatch([]token.String{xs[(w+r)%len(xs)], xs[(w+r+3)%len(xs)]}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := sh.SimilarTrace(xs[r%len(xs)], 4, -1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := sh.Err(); err != nil {
+		t.Fatal(err)
+	}
+	wantStrings, wantIDs := sh.Strings()
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	gotStrings, gotIDs := r.Strings()
+	assertSameStrings(t, wantStrings, wantIDs, gotStrings, gotIDs)
+}

@@ -1,0 +1,521 @@
+package shard
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/iogen"
+	"iokast/internal/store"
+	"iokast/internal/token"
+)
+
+// corpus builds converted weighted strings from the paper's synthetic
+// generator, deterministically.
+func corpus(t testing.TB, n int, seed uint64) []token.String {
+	t.Helper()
+	ds, err := iogen.Build(iogen.PaperOptions(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(ds.Traces) {
+		t.Fatalf("dataset has %d traces, want %d", len(ds.Traces), n)
+	}
+	return core.ConvertAll(ds.Traces[:n], core.Options{})
+}
+
+func kastOptions() Options {
+	return Options{
+		Shards: 3,
+		Seed:   42,
+		Engine: engine.Options{Kernel: &core.Kast{CutWeight: 2}},
+		Store:  store.Options{SnapshotEvery: -1},
+	}
+}
+
+// TestRouteGolden pins the routing hash. These values are part of every
+// sharded data directory's on-disk contract: if this test fails, the hash
+// changed, and every existing directory would recover with ids assigned to
+// the wrong shards. Fix the hash, not the test.
+func TestRouteGolden(t *testing.T) {
+	cases := []struct {
+		seed uint64
+		n    int
+		want []int
+	}{
+		{seed: 0x0, n: 2, want: []int{1, 1, 1, 1, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0}},
+		{seed: 0x0, n: 4, want: []int{3, 3, 1, 3, 1, 1, 2, 3, 2, 0, 3, 1, 3, 2, 2, 0}},
+		{seed: 0x0, n: 7, want: []int{5, 4, 3, 3, 5, 3, 2, 3, 4, 0, 4, 4, 1, 5, 6, 4}},
+		{seed: 0x1, n: 4, want: []int{0, 1, 2, 2, 2, 3, 3, 2, 2, 3, 3, 3, 2, 1, 2, 1}},
+		{seed: 0xdeadbeef, n: 4, want: []int{1, 1, 0, 3, 0, 2, 1, 2, 0, 0, 2, 1, 2, 0, 1, 2}},
+		{seed: 0x0, n: 16, want: []int{15, 7, 9, 3, 13, 9, 14, 15, 6, 8, 3, 5, 11, 6, 14, 4}},
+	}
+	for _, c := range cases {
+		for id, want := range c.want {
+			if got := Route(id, c.seed, c.n); got != want {
+				t.Errorf("Route(%d, %#x, %d) = %d, want %d (the routing hash must never change)", id, c.seed, c.n, got, want)
+			}
+		}
+	}
+}
+
+func TestRouteRangeAndCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16} {
+		for _, seed := range []uint64{0, 1, 0xdeadbeef} {
+			hit := make([]bool, n)
+			for id := 0; id < 256*n; id++ {
+				sh := Route(id, seed, n)
+				if sh < 0 || sh >= n {
+					t.Fatalf("Route(%d, %#x, %d) = %d out of range", id, seed, n, sh)
+				}
+				hit[sh] = true
+			}
+			for sh, ok := range hit {
+				if !ok {
+					t.Errorf("n=%d seed=%#x: shard %d never routed to in %d ids", n, seed, sh, 256*n)
+				}
+			}
+		}
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	for _, m := range []manifest{
+		{shards: 1, seed: 0, kernel: "kast"},
+		{shards: 7, seed: 0xfeedface, kernel: "kast(cut=2)", sketch: true, sketchDim: 256, sketchSeed: 99},
+	} {
+		data := m.encode()
+		got, err := decodeManifest(data)
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %+v, want %+v", got, m)
+		}
+		// Every single-bit corruption must be caught by the CRC (or the
+		// structural checks behind it).
+		for i := range data {
+			bad := append([]byte(nil), data...)
+			bad[i] ^= 0x40
+			if _, err := decodeManifest(bad); err == nil {
+				t.Fatalf("corrupted byte %d accepted", i)
+			}
+		}
+		if _, err := decodeManifest(data[:len(data)-2]); err == nil {
+			t.Fatal("truncated manifest accepted")
+		}
+	}
+}
+
+func TestOpenRefusesMismatchedManifest(t *testing.T) {
+	dir := t.TempDir()
+	opt := kastOptions()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(o *Options)
+		want   string
+	}{
+		{"shards", func(o *Options) { o.Shards = 4 }, "holds 3 shards"},
+		{"seed", func(o *Options) { o.Seed = 7 }, "routed with seed"},
+		{"kernel", func(o *Options) { o.Engine.Kernel = &core.Kast{CutWeight: 4} }, "kernel"},
+		{"sketch", func(o *Options) { o.Engine.SketchDim = -1 }, "sketch config mismatch"},
+	}
+	for _, c := range cases {
+		bad := kastOptions()
+		c.mutate(&bad)
+		if _, err := Open(dir, bad); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s mismatch: got error %v, want containing %q", c.name, err, c.want)
+		}
+	}
+
+	// The matching configuration still opens.
+	s, err = Open(dir, opt)
+	if err != nil {
+		t.Fatalf("reopen with matching options: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A corrupt manifest is refused, not guessed around.
+	path := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, opt); err == nil {
+		t.Fatal("corrupt manifest accepted")
+	}
+}
+
+// TestRefusesForeignLayouts: a single-engine data dir must not be silently
+// adopted by shard.Open (its corpus would vanish behind a fresh MANIFEST
+// and empty shard subdirs), and a sharded dir must not be opened as a
+// single-engine store (its WALs live in subdirectories the store never
+// reads). Both directions refuse with a pointer to the right opener.
+func TestRefusesForeignLayouts(t *testing.T) {
+	single := t.TempDir()
+	eng, st, err := store.Open(single, func() *engine.Engine {
+		return engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}})
+	}, store.Options{SnapshotEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Add(corpus(t, 1, 1)[0])
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(single, kastOptions()); err == nil || !strings.Contains(err.Error(), "single-engine") {
+		t.Fatalf("shard.Open adopted a single-engine dir: %v", err)
+	}
+
+	sharded := t.TempDir()
+	s, err := Open(sharded, kastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.Open(sharded, func() *engine.Engine {
+		return engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}})
+	}, store.Options{}); err == nil || !strings.Contains(err.Error(), "sharded corpus") {
+		t.Fatalf("store.Open adopted a sharded dir: %v", err)
+	}
+}
+
+func TestShardedBasicLifecycle(t *testing.T) {
+	xs := corpus(t, 12, 1)
+	opt := kastOptions()
+	opt.Engine.SketchDim = -1
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for _, x := range xs[:4] {
+		ids = append(ids, s.Add(x))
+	}
+	batchIDs, err := s.AddBatch(xs[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, batchIDs...)
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("ids not sequential: %v", ids)
+		}
+	}
+	if s.Len() != len(xs) || s.NextID() != len(xs) {
+		t.Fatalf("Len=%d NextID=%d, want %d", s.Len(), s.NextID(), len(xs))
+	}
+
+	// Every entry landed in the shard its id routes to, and is resolvable.
+	got, gotIDs := s.Strings()
+	for i, x := range got {
+		if !x.Equal(xs[gotIDs[i]]) {
+			t.Fatalf("entry %d does not round-trip", gotIDs[i])
+		}
+	}
+
+	if err := s.Remove(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(3); err == nil {
+		t.Fatal("double remove accepted")
+	}
+	if err := s.Remove(len(xs) + 5); err == nil {
+		t.Fatal("remove of unassigned id accepted")
+	}
+	if s.Len() != len(xs)-1 {
+		t.Fatalf("Len=%d after remove, want %d", s.Len(), len(xs)-1)
+	}
+	if _, err := s.Similar(3, 5); err == nil {
+		t.Fatal("Similar on removed id succeeded")
+	}
+	ns, err := s.Similar(0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 5 {
+		t.Fatalf("got %d neighbors, want 5", len(ns))
+	}
+	for _, nb := range ns {
+		if nb.ID == 0 || nb.ID == 3 {
+			t.Fatalf("neighbor list contains query or removed id: %+v", ns)
+		}
+	}
+	if _, err := s.SimilarTrace(nil, 5, -1); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if s.Err() != nil {
+		t.Fatalf("in-memory corpus reports persistence error: %v", s.Err())
+	}
+}
+
+func TestShardedDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	xs := corpus(t, 16, 2)
+	opt := kastOptions()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddBatch(xs[:10]); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range xs[10:] {
+		s.Add(x)
+	}
+	if err := s.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+	wantSim, err := s.Similar(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Repaired() != 0 {
+		t.Fatalf("clean reopen plugged %d slots", r.Repaired())
+	}
+	if r.Len() != len(xs)-1 || r.NextID() != len(xs) {
+		t.Fatalf("recovered Len=%d NextID=%d, want %d/%d", r.Len(), r.NextID(), len(xs)-1, len(xs))
+	}
+	gotSim, err := r.Similar(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNeighborsEqual(t, "reopen Similar", wantSim, gotSim)
+
+	// The accessor surface is coherent after recovery.
+	if r.Shards() != opt.Shards || r.Seed() != opt.Seed || !r.Durable() {
+		t.Fatalf("Shards=%d Seed=%d Durable=%v", r.Shards(), r.Seed(), r.Durable())
+	}
+	if name := r.Kernel().Name(); !strings.Contains(name, "kast") {
+		t.Fatalf("Kernel() = %q", name)
+	}
+	if stats := r.Stats(); len(stats) != opt.Shards {
+		t.Fatalf("Stats() returned %d entries", len(stats))
+	}
+	for i, e := range r.Errs() {
+		if e != nil {
+			t.Fatalf("shard %d reports error after clean recovery: %v", i, e)
+		}
+	}
+	if err := r.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range r.Stats() {
+		if st.ReplayBacklog != 0 {
+			t.Fatalf("shard %d backlog %d after explicit snapshot", i, st.ReplayBacklog)
+		}
+	}
+}
+
+// TestShardedKillWithoutClose is the clean crash: every mutation was
+// acknowledged (per-shard WAL fsynced), the process dies without Close, and
+// reopening must reproduce the corpus exactly.
+func TestShardedKillWithoutClose(t *testing.T) {
+	dir := t.TempDir()
+	xs := corpus(t, 14, 3)
+	opt := kastOptions()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	wantStrings, wantIDs := s.Strings()
+	wantSim, err := s.Similar(1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill: no Close, no checkpoint.
+
+	r, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Repaired() != 0 {
+		t.Fatalf("acknowledged-only crash plugged %d slots", r.Repaired())
+	}
+	gotStrings, gotIDs := r.Strings()
+	assertSameStrings(t, wantStrings, wantIDs, gotStrings, gotIDs)
+	gotSim, err := r.Similar(1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNeighborsEqual(t, "post-kill Similar", wantSim, gotSim)
+}
+
+// TestShardedTornBatchRecovery kills mid-AddBatch: one shard committed its
+// sub-batch, the others never saw theirs. Recovery must keep every
+// acknowledged entry, roll the committed (unacknowledged) sub-batch
+// forward, plug durable tombstones for the lost globals, and settle into a
+// state that is identical on every further reopen.
+func TestShardedTornBatchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	xs := corpus(t, 24, 4)
+	opt := kastOptions()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := xs[:12]
+	if _, err := s.AddBatch(acked); err != nil {
+		t.Fatal(err)
+	}
+	ackedStrings, ackedIDs := s.Strings()
+
+	// Simulate the torn batch: route the next 12 globals, but commit only
+	// the sub-batch of the shard that owns the first of them, bypassing the
+	// supervisor — exactly the state a kill between per-shard commits
+	// leaves on disk.
+	first := s.NextID()
+	target := Route(first, opt.Seed, opt.Shards)
+	var sub []token.String
+	var committed, lost []int
+	for t2 := 0; t2 < 12; t2++ {
+		if Route(first+t2, opt.Seed, opt.Shards) == target {
+			sub = append(sub, xs[12+t2])
+			committed = append(committed, first+t2)
+		} else {
+			lost = append(lost, first+t2)
+		}
+	}
+	if len(committed) == 0 || len(lost) == 0 {
+		t.Fatalf("degenerate routing for this seed: committed=%v lost=%v", committed, lost)
+	}
+	if _, err := s.engines[target].AddBatch(sub); err != nil {
+		t.Fatal(err)
+	}
+	// Kill: no Close.
+
+	r, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Globals after the last committed one never materialised; the walk
+	// stops there, so only lost ids *before* it are plugged.
+	lastCommitted := committed[len(committed)-1]
+	wantPlugged := 0
+	for _, g := range lost {
+		if g < lastCommitted {
+			wantPlugged++
+		}
+	}
+	if r.Repaired() != wantPlugged {
+		t.Fatalf("Repaired() = %d, want %d (lost=%v committed=%v)", r.Repaired(), wantPlugged, lost, committed)
+	}
+	if r.NextID() != lastCommitted+1 {
+		t.Fatalf("NextID = %d, want %d", r.NextID(), lastCommitted+1)
+	}
+
+	// Every acknowledged entry survived, verbatim.
+	gotStrings, gotIDs := r.Strings()
+	byID := map[int]token.String{}
+	for i, id := range gotIDs {
+		byID[id] = gotStrings[i]
+	}
+	for i, id := range ackedIDs {
+		got, ok := byID[id]
+		if !ok {
+			t.Fatalf("acknowledged id %d lost in recovery", id)
+		}
+		if !got.Equal(ackedStrings[i]) {
+			t.Fatalf("acknowledged id %d corrupted in recovery", id)
+		}
+	}
+	// The committed sub-batch rolled forward live; the lost globals read as
+	// removed.
+	for _, g := range committed {
+		if _, ok := byID[g]; !ok {
+			t.Fatalf("rolled-forward id %d not live", g)
+		}
+	}
+	for _, g := range lost {
+		if _, ok := byID[g]; ok {
+			t.Fatalf("lost id %d reads as live", g)
+		}
+		if g < lastCommitted {
+			if err := r.Remove(g); err == nil {
+				t.Fatalf("plugged id %d accepted a Remove", g)
+			}
+		}
+	}
+
+	// The corpus keeps working: new ingest and queries.
+	newID := r.Add(xs[0])
+	if newID != lastCommitted+1 {
+		t.Fatalf("post-recovery Add assigned %d, want %d", newID, lastCommitted+1)
+	}
+	if _, err := r.Similar(newID, 5); err != nil {
+		t.Fatal(err)
+	}
+	mapping := append([]loc(nil), r.locals...)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The repair is durable and the mapping deterministic: a further reopen
+	// plugs nothing and derives the identical id layout.
+	r2, err := Open(dir, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if r2.Repaired() != 0 {
+		t.Fatalf("second reopen plugged %d slots (repair was not durable)", r2.Repaired())
+	}
+	if len(r2.locals) != len(mapping) {
+		t.Fatalf("mapping length %d vs %d across reopen", len(r2.locals), len(mapping))
+	}
+	for g, lc := range mapping {
+		if r2.locals[g] != lc {
+			t.Fatalf("global %d mapped to %+v, was %+v before reopen", g, r2.locals[g], lc)
+		}
+	}
+}
+
+func assertSameStrings(t *testing.T, wantStrings []token.String, wantIDs []int, gotStrings []token.String, gotIDs []int) {
+	t.Helper()
+	if len(wantIDs) != len(gotIDs) {
+		t.Fatalf("%d live entries, want %d", len(gotIDs), len(wantIDs))
+	}
+	for i := range wantIDs {
+		if wantIDs[i] != gotIDs[i] {
+			t.Fatalf("live ids %v, want %v", gotIDs, wantIDs)
+		}
+		if !wantStrings[i].Equal(gotStrings[i]) {
+			t.Fatalf("entry %d does not match", wantIDs[i])
+		}
+	}
+}

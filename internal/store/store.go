@@ -107,6 +107,13 @@ func Open(dir string, newEngine func() *engine.Engine, opts Options) (*engine.En
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
+	// A MANIFEST marks a sharded corpus (internal/shard): its WAL segments
+	// live in per-shard subdirectories this store would never read, so
+	// opening the root as a single-engine store would silently serve an
+	// empty corpus — refuse instead.
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST")); err == nil {
+		return nil, nil, fmt.Errorf("store: %s is a sharded corpus directory (MANIFEST present); open it with iokast.OpenSharded or iokserve -shards", dir)
+	}
 	snaps, segs, err := scanDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -564,6 +571,36 @@ func (s *Store) Stats() Stats {
 		st.Err = engErr.Error()
 	}
 	return st
+}
+
+// AtomicWriteFile commits data to path with the same discipline snapshots
+// use: write to a temp file in the same directory, fsync, rename over the
+// final name, and fsync the directory. Readers therefore always see either
+// the old contents or the complete new ones, never a torn write.
+// internal/shard uses it for the sharded-corpus MANIFEST.
+func AtomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: commit %s: %w", path, err)
+	}
+	syncDir(dir)
+	return nil
 }
 
 // syncDir best-effort fsyncs a directory so renames and creates are

@@ -31,6 +31,7 @@ import (
 	"iokast/internal/kernel"
 	"iokast/internal/kpca"
 	"iokast/internal/linalg"
+	"iokast/internal/shard"
 	"iokast/internal/store"
 	"iokast/internal/token"
 	"iokast/internal/trace"
@@ -85,6 +86,14 @@ type (
 	StoreOptions = store.Options
 	// StoreStats is a point-in-time view of a Store.
 	StoreStats = store.Stats
+	// Sharded is a hash-routed multi-shard corpus: N independent
+	// Engine+Store pairs behind one id space, with mutations routed to a
+	// single shard and similarity queries fanned out to all shards in
+	// parallel and merged exactly (bit-identical to a single engine over
+	// the same corpus).
+	Sharded = shard.Sharded
+	// ShardedOptions configure NewSharded / OpenSharded.
+	ShardedOptions = shard.Options
 )
 
 // Linkage strategies for hierarchical clustering.
@@ -155,6 +164,21 @@ func OpenEngine(dir string, eopt EngineOptions, sopt StoreOptions) (*Engine, *St
 	eopt.Log = nil // the store attaches itself after replay
 	return store.Open(dir, func() *engine.Engine { return engine.New(eopt) }, sopt)
 }
+
+// NewSharded returns an in-memory sharded corpus: Options.Shards
+// independent engines behind one global id space. Mutations touch only the
+// shard their id hashes to; Similar, SimilarApprox and SimilarTrace fan out
+// to every shard in parallel and merge the per-shard top-k exactly, so
+// results are bit-identical to a single engine over the same corpus.
+func NewSharded(opt ShardedOptions) (*Sharded, error) { return shard.New(opt) }
+
+// OpenSharded recovers (or initialises) a durable sharded corpus from dir:
+// a CRC-guarded MANIFEST pins the shard count, routing seed, and
+// kernel/sketch configuration, and each shard owns its own WAL and snapshot
+// chain in a subdirectory, recovered concurrently. A manifest that
+// disagrees with opt is refused. Close the corpus to checkpoint every
+// shard.
+func OpenSharded(dir string, opt ShardedOptions) (*Sharded, error) { return shard.Open(dir, opt) }
 
 // PaperSimilarity runs the paper's full §4.1 post-processing for the Kast
 // kernel: raw Gram, Eq. 12 normalisation, and PSD repair (negative
