@@ -1,6 +1,8 @@
 // Command iokclassify labels an I/O trace by kernel similarity against a
 // directory of labelled reference traces — the pattern-database use case
 // the paper's related work motivates (Behzad et al.'s auto-tuning lookup).
+// It is a thin shell over internal/classify, the same implementation that
+// serves POST /classify in iokserve.
 //
 // Usage:
 //
@@ -20,22 +22,36 @@ import (
 )
 
 func main() {
-	refDir := flag.String("refs", "", "directory of labelled .trace references (required)")
-	k := flag.Int("k", 3, "number of nearest neighbours to vote")
-	cut := flag.Int("cut", 2, "Kast cut weight")
-	noBytes := flag.Bool("nobytes", false, "ignore byte counts")
-	top := flag.Int("top", 5, "matches to display")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable body of the command: flags and the input file come
+// from args, the query trace falls back to stdin, and the exit code is
+// returned instead of calling os.Exit.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("iokclassify", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	refDir := flags.String("refs", "", "directory of labelled .trace references (required)")
+	k := flags.Int("k", 3, "number of nearest neighbours to vote")
+	cut := flags.Int("cut", 2, "Kast cut weight")
+	noBytes := flags.Bool("nobytes", false, "ignore byte counts")
+	top := flags.Int("top", 5, "matches to display")
+	if err := flags.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *refDir == "" {
-		fmt.Fprintln(os.Stderr, "iokclassify: -refs is required")
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iokclassify: -refs is required")
+		flags.Usage()
+		return 2
 	}
 	refs, err := cli.LoadTraceDir(*refDir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokclassify: %v\n", err)
+		return 1
 	}
 	labels := make([]string, len(refs))
 	for i, t := range refs {
@@ -45,45 +61,45 @@ func main() {
 		}
 	}
 	opt := core.Options{IgnoreBytes: *noBytes}
-	refStrings := core.ConvertAll(refs, opt)
-	c, err := classify.New(&core.Kast{CutWeight: *cut}, refStrings, labels, *k)
+	c, err := classify.New(&core.Kast{CutWeight: *cut}, core.ConvertAll(refs, opt), labels, *k)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokclassify: %v\n", err)
+		return 1
 	}
 
-	var in io.Reader = os.Stdin
+	in := stdin
 	inputName := "stdin"
-	if flag.NArg() == 1 {
-		f, err := os.Open(flag.Arg(0))
+	if flags.NArg() == 1 {
+		f, err := os.Open(flags.Arg(0))
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "iokclassify: %v\n", err)
+			return 1
 		}
 		defer f.Close()
 		in = f
-		inputName = flag.Arg(0)
-	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "iokclassify: at most one input file")
-		os.Exit(2)
+		inputName = flags.Arg(0)
+	} else if flags.NArg() > 1 {
+		fmt.Fprintln(stderr, "iokclassify: at most one input file")
+		return 2
 	}
 	tr, err := trace.Parse(in)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokclassify: %v\n", err)
+		return 1
 	}
 
 	label, matches, err := c.Classify(core.Convert(tr, opt))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iokclassify: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "iokclassify: %v\n", err)
+		return 1
 	}
-	fmt.Printf("%s: %s\n", inputName, label)
+	fmt.Fprintf(stdout, "%s: %s\n", inputName, label)
 	n := *top
 	if n > len(matches) {
 		n = len(matches)
 	}
 	for _, m := range matches[:n] {
-		fmt.Printf("  %-24s %-6s %.4f\n", refs[m.Index].Name, m.Label, m.Similarity)
+		fmt.Fprintf(stdout, "  %-24s %-6s %.4f\n", refs[m.Index].Name, m.Label, m.Similarity)
 	}
+	return 0
 }

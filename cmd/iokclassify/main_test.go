@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func runCmd(t *testing.T, args []string, stdin string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestClassifyFile(t *testing.T) {
+	code, out, errb := runCmd(t, []string{"-refs", "testdata/refs", "-k", "3", "testdata/query_writer.trace"}, "")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.HasPrefix(out, "testdata/query_writer.trace: W\n") {
+		t.Fatalf("output %q", out)
+	}
+	// Top matches listed with label and similarity columns.
+	if !strings.Contains(out, "writer1") || !strings.Contains(out, "W") {
+		t.Fatalf("matches missing from %q", out)
+	}
+}
+
+func TestClassifyStdin(t *testing.T) {
+	query, err := os.ReadFile("testdata/refs/reader2.trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, out, errb := runCmd(t, []string{"-refs", "testdata/refs", "-top", "2"}, string(query))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb)
+	}
+	if !strings.HasPrefix(out, "stdin: R\n") {
+		t.Fatalf("output %q", out)
+	}
+	// -top bounds the match listing: header plus 2 rows.
+	if lines := strings.Count(strings.TrimRight(out, "\n"), "\n"); lines != 2 {
+		t.Fatalf("want 2 match rows, got output %q", out)
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	if code, _, _ := runCmd(t, nil, ""); code != 2 {
+		t.Fatalf("missing -refs: exit %d", code)
+	}
+	if code, _, errb := runCmd(t, []string{"-refs", "testdata/does-not-exist"}, ""); code != 1 || !strings.Contains(errb, "iokclassify:") {
+		t.Fatalf("bad refs dir: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runCmd(t, []string{"-refs", "testdata/refs", "a", "b"}, ""); code != 2 {
+		t.Fatalf("two inputs: exit %d", code)
+	}
+	if code, _, errb := runCmd(t, []string{"-refs", "testdata/refs"}, "not a trace line"); code != 1 || !strings.Contains(errb, "iokclassify:") {
+		t.Fatalf("bad stdin: exit %d, stderr %q", code, errb)
+	}
+	if code, _, _ := runCmd(t, []string{"-badflag"}, ""); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+	if code, _, _ := runCmd(t, []string{"-h"}, ""); code != 0 {
+		t.Fatal("help should exit 0")
+	}
+}

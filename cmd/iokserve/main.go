@@ -30,7 +30,7 @@
 //	iokserve [-addr :8080] [-kernel kast] [-cut 2] [-k 5] [-count]
 //	         [-nobytes] [-workers 0] [-data-dir DIR] [-snapshot-every 1024]
 //	         [-nosync] [-sketch-dim 256] [-sketch-seed 0]
-//	         [-shards 1] [-shard-seed 0]
+//	         [-shards 1] [-shard-seed 0] [-labels FILE]
 //
 // Endpoints:
 //
@@ -45,6 +45,14 @@
 //	POST   /similar?k=&rerank=R
 //	                         query-by-trace: body = trace text, compared
 //	                         against the corpus but never ingested
+//	POST   /labels           {"labels": [{"id": 0, "label": "reader"}, ...]}:
+//	                         tag corpus ids (durable beside the data dir)
+//	GET    /labels           label -> member count
+//	DELETE /labels/{id}      remove one id's label
+//	POST   /classify?k=&rerank=R
+//	                         classify a trace body by similarity-weighted
+//	                         k-NN vote over the labelled corpus; returns
+//	                         {label, confidence, votes, neighbors}
 //	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
 //	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
 //	GET    /healthz          liveness probe; "degraded" if persistence fails
@@ -59,9 +67,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"iokast/internal/classify"
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
@@ -85,6 +95,7 @@ func main() {
 	sketchSeed := flag.Uint64("sketch-seed", 0, "seed for the sketch hashes (must match across restarts sharing a data dir to reuse persisted sketches)")
 	shards := flag.Int("shards", 1, "number of corpus shards (1 = classic single engine, byte-compatible with existing data dirs)")
 	shardSeed := flag.Uint64("shard-seed", 0, "seed for the id-routing hash (pinned by a sharded data dir's MANIFEST)")
+	labelsPath := flag.String("labels", "", "labels file for /classify (default <data-dir>/LABELS when -data-dir is set; in-memory otherwise)")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -103,6 +114,29 @@ func main() {
 		eopt.SketchDim = -1
 	}
 	sopt := store.Options{SnapshotEvery: *snapshotEvery, NoSync: *noSync}
+
+	// The label registry rides beside the corpus: an explicit -labels file,
+	// or <data-dir>/LABELS (next to the WAL, or the MANIFEST in sharded
+	// mode), or purely in-memory when neither is given. Registry commits are
+	// atomic temp+rename writes, so a kill preserves the last full table.
+	reg := classify.NewRegistry()
+	regPath := *labelsPath
+	if regPath == "" && *dataDir != "" {
+		regPath = filepath.Join(*dataDir, classify.DefaultLabelsFile)
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if regPath != "" {
+		if reg, err = classify.OpenRegistry(regPath); err != nil {
+			fmt.Fprintf(os.Stderr, "iokserve: open labels %s: %v\n", regPath, err)
+			os.Exit(1)
+		}
+		if n := reg.Len(); n > 0 {
+			log.Printf("iokserve: recovered %d labels from %s", n, regPath)
+		}
+	}
 
 	var (
 		srv        *server
@@ -128,7 +162,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		srv = newShardedServer(sh, core.Options{IgnoreBytes: *noBytes})
+		srv = newShardedServer(sh, reg, core.Options{IgnoreBytes: *noBytes})
 	} else {
 		var (
 			eng *engine.Engine
@@ -145,7 +179,7 @@ func main() {
 		} else {
 			eng = engine.New(eopt)
 		}
-		srv = newServer(eng, st, core.Options{IgnoreBytes: *noBytes})
+		srv = newServer(eng, st, reg, core.Options{IgnoreBytes: *noBytes})
 	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

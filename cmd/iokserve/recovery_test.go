@@ -23,7 +23,7 @@ func durableServer(t *testing.T, dir string) (*server, *store.Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(eng, st, core.Options{}), st
+	return newServer(eng, st, nil, core.Options{}), st
 }
 
 func batchBody(traces ...string) string {

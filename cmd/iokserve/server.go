@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 
+	"iokast/internal/classify"
 	"iokast/internal/core"
 	"iokast/internal/engine"
 	"iokast/internal/kernel"
@@ -39,6 +40,7 @@ type corpus interface {
 	Similar(id, k int) ([]engine.Neighbor, error)
 	SimilarApprox(id, k, rerank int) ([]engine.Neighbor, error)
 	SimilarTrace(x token.String, k, rerank int) ([]engine.Neighbor, error)
+	Has(id int) bool
 	Len() int
 	Err() error
 	Kernel() kernel.Kernel
@@ -46,29 +48,39 @@ type corpus interface {
 }
 
 // server routes HTTP requests onto one shared corpus. Concurrency control
-// lives entirely in the corpus; handlers hold no state of their own.
+// lives entirely in the corpus and the label registry; handlers hold no
+// state of their own.
 type server struct {
 	c    corpus
 	eng  *engine.Engine // single-engine mode only: serves /gram
 	st   *store.Store   // single-engine mode: nil without --data-dir
 	sh   *shard.Sharded // sharded mode only
+	cls  *classify.Online
 	copt core.Options
 	mux  *http.ServeMux
 }
 
-func newServer(eng *engine.Engine, st *store.Store, copt core.Options) *server {
+func newServer(eng *engine.Engine, st *store.Store, reg *classify.Registry, copt core.Options) *server {
 	s := &server{c: eng, eng: eng, st: st, copt: copt}
-	s.routes()
+	s.finish(reg)
 	return s
 }
 
 // newShardedServer serves a multi-shard corpus. /gram is unavailable in
 // this mode: the corpus maintains no cross-shard Gram entries, which is
 // exactly what lets ingest scale with the shard count.
-func newShardedServer(sh *shard.Sharded, copt core.Options) *server {
+func newShardedServer(sh *shard.Sharded, reg *classify.Registry, copt core.Options) *server {
 	s := &server{c: sh, sh: sh, copt: copt}
-	s.routes()
+	s.finish(reg)
 	return s
+}
+
+func (s *server) finish(reg *classify.Registry) {
+	if reg == nil {
+		reg = classify.NewRegistry()
+	}
+	s.cls = classify.NewOnline(s.c, reg)
+	s.routes()
 }
 
 func (s *server) routes() {
@@ -77,6 +89,9 @@ func (s *server) routes() {
 	s.mux.HandleFunc("/traces/batch", s.handleTracesBatch)
 	s.mux.HandleFunc("/traces/", s.handleTraceByID)
 	s.mux.HandleFunc("/similar", s.handleSimilar)
+	s.mux.HandleFunc("/labels", s.handleLabels)
+	s.mux.HandleFunc("/labels/", s.handleLabelByID)
+	s.mux.HandleFunc("/classify", s.handleClassify)
 	s.mux.HandleFunc("/gram", s.handleGram)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
@@ -215,6 +230,17 @@ func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
+	// A removed trace can never be a neighbour again, so its label goes with
+	// it — otherwise GET /labels would count members no query can reach. The
+	// trace removal itself is already durable; a failed label cleanup is
+	// reported like every other persistence failure rather than swallowed.
+	if _, ok := s.cls.Registry().LabelOf(id); ok {
+		if err := s.cls.Registry().SetLabel(id, ""); err != nil {
+			httpError(w, http.StatusInternalServerError,
+				"trace %d removed but its label could not be dropped: %v", id, err)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
 }
 
@@ -230,9 +256,14 @@ func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// similarParams parses the k and rerank query parameters shared by both
-// /similar forms. rerank defaults to -1 (the engine's over-fetch default);
-// 0 means sketch-only scores, >= corpus size means exact.
+// similarParams parses the k and rerank query parameters shared by the
+// /similar forms and /classify. rerank defaults to -1 (the engine's
+// over-fetch default); 0 means sketch-only scores, >= corpus size means
+// exact. k = 0 is valid and yields an empty neighbour list. Values of
+// rerank below -1 have no defined meaning anywhere in the stack and are
+// rejected here rather than silently passed through (the engine would
+// treat them like -1, which is a trap for clients that meant something
+// else).
 func similarParams(r *http.Request) (k, rerank int, err error) {
 	k, rerank = 10, -1
 	if ks := r.URL.Query().Get("k"); ks != "" {
@@ -241,8 +272,8 @@ func similarParams(r *http.Request) (k, rerank int, err error) {
 		}
 	}
 	if rs := r.URL.Query().Get("rerank"); rs != "" {
-		if rerank, err = strconv.Atoi(rs); err != nil {
-			return 0, 0, fmt.Errorf("bad rerank %q", rs)
+		if rerank, err = strconv.Atoi(rs); err != nil || rerank < -1 {
+			return 0, 0, fmt.Errorf("bad rerank %q (want -1 for the default over-fetch, 0 for sketch scores, or a positive shortlist size)", rs)
 		}
 	}
 	return k, rerank, nil
@@ -262,17 +293,23 @@ func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 	approx := r.URL.Query().Get("approx")
 	var ns []engine.Neighbor
 	if approx == "1" || approx == "true" {
+		// Asking for the sketch path on a sketch-disabled corpus is a
+		// client error (the request can never succeed against this
+		// configuration), not a server fault: 400 with a hint, checked
+		// before touching the corpus so the message is always the clear
+		// one rather than whatever error bubbles up.
+		if _, _, enabled := s.c.SketchConfig(); !enabled {
+			httpError(w, http.StatusBadRequest,
+				"approximate similarity unavailable: sketching is disabled on this server (restart with -sketch-dim > 0, or drop approx=1)")
+			return
+		}
 		ns, err = s.c.SimilarApprox(id, k, rerank)
 		if err != nil {
-			status := http.StatusNotFound
-			if _, _, enabled := s.c.SketchConfig(); !enabled {
-				status = http.StatusConflict // run without -sketch-dim 0
-			}
-			httpError(w, status, "%v", err)
+			httpError(w, http.StatusNotFound, "%v", err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{
-			"id": id, "neighbors": ns, "approx": true, "rerank": rerank,
+			"id": id, "neighbors": nonNil(ns), "approx": true, "rerank": rerank,
 		})
 		return
 	}
@@ -281,7 +318,17 @@ func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "neighbors": ns})
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "neighbors": nonNil(ns)})
+}
+
+// nonNil pins the JSON form of an empty neighbour list to [] rather than
+// null, whatever path produced it — k=0 responses must still be valid,
+// iterable JSON.
+func nonNil(ns []engine.Neighbor) []engine.Neighbor {
+	if ns == nil {
+		return []engine.Neighbor{}
+	}
+	return ns
 }
 
 // handleSimilarByTrace is query-by-trace: the body is one trace in the
@@ -306,8 +353,155 @@ func (s *server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
 		"name":      tr.Name,
 		"tokens":    len(x),
 		"weight":    x.Weight(),
-		"neighbors": ns,
+		"neighbors": nonNil(ns),
 		"rerank":    rerank,
+	})
+}
+
+// labelsRequest is the POST /labels body: explicit id -> label assignments.
+// An empty label removes the id's assignment.
+type labelsRequest struct {
+	Labels []struct {
+		ID    int    `json:"id"`
+		Label string `json:"label"`
+	} `json:"labels"`
+}
+
+// maxLabelsBody bounds a POST /labels request.
+const maxLabelsBody = 4 << 20
+
+// handleLabels serves the label registry: POST tags corpus ids with labels
+// (validated against the live corpus, persisted atomically when the
+// registry is durable), GET lists label -> member count.
+func (s *server) handleLabels(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		reg := s.cls.Registry()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"labels":  reg.Counts(),
+			"labeled": reg.Len(),
+		})
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxLabelsBody+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		if len(body) > maxLabelsBody {
+			httpError(w, http.StatusRequestEntityTooLarge, "labels body exceeds %d bytes", maxLabelsBody)
+			return
+		}
+		var req labelsRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			httpError(w, http.StatusBadRequest, "parse labels JSON: %v", err)
+			return
+		}
+		if len(req.Labels) == 0 {
+			httpError(w, http.StatusBadRequest, `empty assignment (want {"labels": [{"id": 0, "label": "reader"}, ...]})`)
+			return
+		}
+		// Validate everything before assigning anything: labels are
+		// all-or-nothing like batch ingest, so one bad entry cannot
+		// half-apply the request. Removal entries (empty label) skip the
+		// liveness check — unlabelling a stale id must always be possible.
+		assign := make(map[int]string, len(req.Labels))
+		for i, e := range req.Labels {
+			if e.Label != "" {
+				if err := classify.ValidLabel(e.Label); err != nil {
+					httpError(w, http.StatusBadRequest, "labels[%d]: %v", i, err)
+					return
+				}
+				if !s.c.Has(e.ID) {
+					httpError(w, http.StatusNotFound, "labels[%d]: no live trace with id %d", i, e.ID)
+					return
+				}
+			}
+			assign[e.ID] = e.Label
+		}
+		if err := s.cls.Registry().SetLabels(assign); err != nil {
+			// SetLabels is all-or-nothing: on error neither memory nor disk
+			// changed, so say so plainly.
+			httpError(w, http.StatusInternalServerError, "labels not applied: %v", err)
+			return
+		}
+		// Close the validate-then-commit race with DELETE /traces/{id}: a
+		// trace removed between the liveness check and the commit would keep
+		// its fresh label forever (the delete's own cleanup ran before the
+		// label existed). Scrubbing after the commit converges in every
+		// interleaving — whichever of the two writers runs last sees the
+		// other's effect.
+		for id, label := range assign {
+			if label != "" && !s.c.Has(id) {
+				_ = s.cls.Registry().SetLabel(id, "")
+			}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"assigned": len(assign),
+			"labeled":  s.cls.Registry().Len(),
+		})
+	default:
+		httpError(w, http.StatusMethodNotAllowed,
+			`GET /labels or POST {"labels": [{"id": 0, "label": "reader"}, ...]}`)
+	}
+}
+
+// handleLabelByID serves DELETE /labels/{id}: remove one id's label.
+func (s *server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/labels/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad label id %q", idStr)
+		return
+	}
+	if r.Method != http.MethodDelete {
+		httpError(w, http.StatusMethodNotAllowed, "only DELETE is supported on /labels/{id}")
+		return
+	}
+	reg := s.cls.Registry()
+	if _, ok := reg.LabelOf(id); !ok {
+		httpError(w, http.StatusNotFound, "no label on id %d", id)
+		return
+	}
+	if err := reg.SetLabel(id, ""); err != nil {
+		httpError(w, http.StatusInternalServerError, "unlabel not applied: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+}
+
+// handleClassify is the paper's application served online: the body is one
+// trace in the canonical text format, classified by similarity-weighted
+// k-NN vote against the labelled corpus — sketch shortlist plus exact
+// rerank where enabled, fanned out across shards in parallel in sharded
+// mode. The trace is never ingested.
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST /classify?k=&rerank= with a trace body")
+		return
+	}
+	tr, x, ok := s.readTraceBody(w, r)
+	if !ok {
+		return
+	}
+	k, rerank, err := similarParams(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := s.cls.Classify(x, k, rerank)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":       tr.Name,
+		"tokens":     len(x),
+		"weight":     x.Weight(),
+		"label":      res.Label,
+		"confidence": res.Confidence,
+		"votes":      res.Votes,
+		"neighbors":  res.Neighbors,
+		"rerank":     rerank,
 	})
 }
 

@@ -31,7 +31,7 @@ close fh=1
 
 func testServer() *server {
 	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2})
-	return newServer(eng, nil, core.Options{})
+	return newServer(eng, nil, nil, core.Options{})
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int) map[string]any {
@@ -179,11 +179,20 @@ func TestServeSimilarByTrace(t *testing.T) {
 
 func TestServeApproxDisabled(t *testing.T) {
 	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2, SketchDim: -1})
-	s := newServer(eng, nil, core.Options{})
+	s := newServer(eng, nil, nil, core.Options{})
 	doJSON(t, s, http.MethodPost, "/traces", traceA, http.StatusCreated)
-	doJSON(t, s, http.MethodGet, "/similar?id=0&approx=1", "", http.StatusConflict)
+	// A request that can never succeed against this configuration is the
+	// client's mistake, not a server fault: 400, with a message that names
+	// the fix instead of leaking an internal error.
+	resp := doJSON(t, s, http.MethodGet, "/similar?id=0&approx=1", "", http.StatusBadRequest)
+	if msg := resp["error"].(string); !strings.Contains(msg, "sketching is disabled") {
+		t.Fatalf("unhelpful sketch-disabled error: %q", msg)
+	}
+	// Even for an id that does not exist the config error wins: the request
+	// is malformed for this server regardless of corpus state.
+	doJSON(t, s, http.MethodGet, "/similar?id=99&approx=1", "", http.StatusBadRequest)
 	// Query-by-trace degrades to the exact scan instead of failing.
-	resp := doJSON(t, s, http.MethodPost, "/similar?k=1", traceA, http.StatusOK)
+	resp = doJSON(t, s, http.MethodPost, "/similar?k=1", traceA, http.StatusOK)
 	top := resp["neighbors"].([]any)[0].(map[string]any)
 	if int(top["id"].(float64)) != 0 || top["similarity"].(float64) < 0.999999 {
 		t.Fatalf("exact fallback top neighbour = %v", top)

@@ -21,6 +21,21 @@ type (
 	Classifier = classify.Classifier
 	// ClassifierMatch is one scored reference.
 	ClassifierMatch = classify.Match
+	// OnlineClassifier labels traces against a live corpus (Engine or
+	// Sharded) by similarity-weighted k-NN vote, with labels held in a
+	// LabelRegistry — the serving-path form of Classifier.
+	OnlineClassifier = classify.Online
+	// ClassifyCorpus is the similarity surface an OnlineClassifier needs;
+	// both Engine and Sharded satisfy it.
+	ClassifyCorpus = classify.Corpus
+	// LabelRegistry assigns labels to corpus ids, optionally persisted as
+	// an atomically committed labels file beside the corpus data.
+	LabelRegistry = classify.Registry
+	// ClassifyResult is one online classification: winning label,
+	// confidence, per-label votes, and the scored neighbours.
+	ClassifyResult = classify.Result
+	// ClassifyVote is one label's aggregated ballot.
+	ClassifyVote = classify.Vote
 	// KPCAModel projects new examples into a fitted KPCA space.
 	KPCAModel = kpca.StringModel
 	// RecordingFS is an in-memory POSIX-like filesystem that records
@@ -44,6 +59,27 @@ func NewRecordingFS() *RecordingFS { return iofs.New() }
 // internally).
 func NewClassifier(k Kernel, refs []WeightedString, labels []string, neighbours int) (*Classifier, error) {
 	return classify.New(k, refs, labels, neighbours)
+}
+
+// NewOnlineClassifier wires an online classifier over a live corpus — an
+// Engine or a Sharded — and a label registry. Classify runs the corpus's
+// SimilarTrace (sketch shortlist + exact rerank where enabled, fanned out
+// across shards in parallel) and aggregates neighbour votes weighted by
+// normalised similarity; with an exact rerank the result is bit-identical
+// at any shard count.
+func NewOnlineClassifier(c ClassifyCorpus, reg *LabelRegistry) *OnlineClassifier {
+	return classify.NewOnline(c, reg)
+}
+
+// NewLabelRegistry returns an empty in-memory label registry.
+func NewLabelRegistry() *LabelRegistry { return classify.NewRegistry() }
+
+// OpenLabelRegistry loads (or initialises) a durable label registry backed
+// by the file at path. Every mutation rewrites the CRC-framed table with an
+// atomic temp+rename commit, so a kill at any point preserves the last
+// complete assignment.
+func OpenLabelRegistry(path string) (*LabelRegistry, error) {
+	return classify.OpenRegistry(path)
 }
 
 // ClassifyTraces is a convenience wrapper: convert labelled reference

@@ -1,0 +1,63 @@
+package classify
+
+import (
+	"fmt"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/token"
+	"iokast/internal/xrand"
+)
+
+// benchStrings mirrors internal/shard's benchmark corpus: n small synthetic
+// weighted strings, deterministic, cheap enough that an N=1024 corpus
+// isolates the query path rather than the per-pair kernel cost.
+func benchStrings(n int) []token.String {
+	vocab := []string{"read[4096]", "read[512]", "write[4096]", "write[64]", "lseek[0]", "open[0]", "close[0]", "fsync[0]"}
+	r := xrand.New(0xcafe)
+	xs := make([]token.String, n)
+	for i := range xs {
+		m := r.IntRange(6, 14)
+		s := token.String{{Literal: token.LitRoot, Weight: 1}}
+		for j := 0; j < m; j++ {
+			s = append(s, token.Token{Literal: vocab[r.Intn(len(vocab))], Weight: r.IntRange(1, 4)})
+		}
+		xs[i] = s
+	}
+	return xs
+}
+
+// BenchmarkClassify measures one online classification (top-10 vote)
+// against an N=1024 labelled corpus, on the sketch-shortlist path the
+// server uses by default. The query cost is the corpus's SimilarTrace plus
+// an O(k) label lookup and vote — classification rides the similarity
+// machinery, it does not add another scan.
+func BenchmarkClassify(b *testing.B) {
+	const n = 1024
+	xs := benchStrings(n)
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}})
+	if _, err := eng.AddBatch(xs); err != nil {
+		b.Fatal(err)
+	}
+	reg := NewRegistry()
+	assign := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		assign[i] = fmt.Sprintf("family-%d", i%4)
+	}
+	if err := reg.SetLabels(assign); err != nil {
+		b.Fatal(err)
+	}
+	o := NewOnline(eng, reg)
+	queries := benchStrings(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := o.Classify(queries[i%len(queries)], 10, -1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Label == "" {
+			b.Fatal("no label")
+		}
+	}
+}

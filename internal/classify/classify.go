@@ -1,29 +1,41 @@
-// Package classify assigns labels to new access patterns by kernel
-// similarity against a labelled reference set. This is the downstream use
-// the paper motivates (and its related work pursues with neural networks
-// and HMMs — Madhyastha & Reed; pattern databases — Behzad et al.): once a
-// collection of known patterns exists, an incoming trace can be matched to
-// its family without retraining anything, because kernel methods only need
-// pairwise similarities.
+// Package classify assigns labels to access patterns by kernel similarity
+// against a labelled corpus. This is the downstream use the paper motivates
+// (and its related work pursues with neural networks and HMMs — Madhyastha
+// & Reed; pattern databases — Behzad et al.): once a collection of known
+// patterns exists, an incoming trace can be matched to its family without
+// retraining anything, because kernel methods only need pairwise
+// similarities.
+//
+// Two surfaces share one implementation:
+//
+//   - Online classifies against a live corpus (engine.Engine or
+//     shard.Sharded) with labels held in a durable Registry — the serving
+//     path behind iokserve's POST /classify.
+//   - Classifier is the batch form: a fixed reference set loaded up front
+//     (cmd/iokclassify), implemented as a thin shell over an in-memory
+//     engine and the same similarity-weighted vote.
 package classify
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
+	"iokast/internal/engine"
 	"iokast/internal/kernel"
 	"iokast/internal/token"
 )
 
-// Classifier labels weighted strings by kernel similarity to labelled
-// references.
+// Classifier labels weighted strings by kernel similarity to a fixed
+// labelled reference set. It is a batch shell over the same machinery the
+// online path serves: references live in an in-memory incremental engine
+// (cached per-string representations, no sketching — every query runs
+// exact), queries run engine.SimilarTrace, and the winner is picked by the
+// shared similarity-weighted vote.
 type Classifier struct {
-	kern    kernel.Kernel
-	refs    []token.String
-	labels  []string
-	k       int
-	selfSim []float64
+	kern   kernel.Kernel
+	eng    *engine.Engine
+	refs   []token.String
+	labels []string
+	k      int
 }
 
 // New builds a k-nearest-neighbour classifier over the reference set. The
@@ -43,12 +55,17 @@ func New(kern kernel.Kernel, refs []token.String, labels []string, k int) (*Clas
 	if k > len(refs) {
 		k = len(refs)
 	}
-	c := &Classifier{kern: kern, refs: refs, labels: labels, k: k}
-	c.selfSim = make([]float64, len(refs))
-	for i, r := range refs {
-		c.selfSim[i] = kern.Compare(r, r)
+	eng := engine.New(engine.Options{Kernel: kern, SketchDim: -1})
+	if _, err := eng.AddBatch(refs); err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
 	}
-	return c, nil
+	return &Classifier{
+		kern:   kern,
+		eng:    eng,
+		refs:   append([]token.String(nil), refs...),
+		labels: append([]string(nil), labels...),
+		k:      k,
+	}, nil
 }
 
 // Match is one scored reference.
@@ -58,85 +75,81 @@ type Match struct {
 	Similarity float64 // cosine-normalised kernel value
 }
 
-// Classify returns the majority label among the k most similar references
-// (ties broken toward the more similar neighbour) and the scored
-// neighbour list, most similar first.
+// matches scores x against every reference, most similar first (ties by
+// ascending reference index — engine.SortNeighbors order).
+func (c *Classifier) matches(x token.String) ([]Match, error) {
+	if self := c.kern.Compare(x, x); self <= 0 {
+		return nil, fmt.Errorf("classify: input has zero self-similarity under %s", c.kern.Name())
+	}
+	// Sketching is disabled on the reference engine, so this is always the
+	// exact path: one kernel evaluation per reference.
+	ns, err := c.eng.SimilarTrace(x, -1, len(c.refs))
+	if err != nil {
+		return nil, fmt.Errorf("classify: %w", err)
+	}
+	out := make([]Match, len(ns))
+	for i, nb := range ns {
+		out[i] = Match{Index: nb.ID, Label: c.labels[nb.ID], Similarity: nb.Similarity}
+	}
+	return out, nil
+}
+
+// vote picks the winning label among the k best of matches by the shared
+// similarity-weighted ballot.
+func vote(matches []Match, k int) string {
+	if k > len(matches) {
+		k = len(matches)
+	}
+	labels := make([]string, k)
+	sims := make([]float64, k)
+	for i, m := range matches[:k] {
+		labels[i] = m.Label
+		sims[i] = m.Similarity
+	}
+	_, winner, _ := aggregate(labels, sims)
+	return winner
+}
+
+// Classify returns the winning label among the k most similar references
+// (votes weighted by normalised similarity, ties broken toward the more
+// voted and then lexicographically smaller label) and the full scored
+// reference list, most similar first.
 func (c *Classifier) Classify(x token.String) (string, []Match, error) {
-	selfX := c.kern.Compare(x, x)
-	if selfX <= 0 {
-		return "", nil, fmt.Errorf("classify: input has zero self-similarity under %s", c.kern.Name())
+	matches, err := c.matches(x)
+	if err != nil {
+		return "", nil, err
 	}
-	matches := make([]Match, 0, len(c.refs))
-	for i, r := range c.refs {
-		sim := 0.0
-		if c.selfSim[i] > 0 {
-			sim = c.kern.Compare(x, r) / math.Sqrt(selfX*c.selfSim[i])
-		}
-		matches = append(matches, Match{Index: i, Label: c.labels[i], Similarity: sim})
-	}
-	sort.SliceStable(matches, func(i, j int) bool {
-		return matches[i].Similarity > matches[j].Similarity
-	})
-	votes := map[string]float64{}
-	counts := map[string]int{}
-	for _, m := range matches[:c.k] {
-		votes[m.Label] += m.Similarity
-		counts[m.Label]++
-	}
-	best, bestCount, bestVote := "", -1, -1.0
-	labels := make([]string, 0, len(counts))
-	for l := range counts {
-		labels = append(labels, l)
-	}
-	sort.Strings(labels) // deterministic tie-break
-	for _, l := range labels {
-		if counts[l] > bestCount || (counts[l] == bestCount && votes[l] > bestVote) {
-			best, bestCount, bestVote = l, counts[l], votes[l]
-		}
-	}
-	return best, matches, nil
+	return vote(matches, c.k), matches, nil
 }
 
 // Accuracy runs leave-one-out cross-validation over the reference set: how
-// often a reference is classified correctly by the other references.
+// often a reference is classified correctly by the other references. The
+// held-out reference is excluded by dropping its own id from the scored
+// list, which is equivalent to rebuilding the classifier without it
+// (similarities are pairwise).
 func (c *Classifier) Accuracy() (float64, error) {
 	if len(c.refs) < 2 {
 		return 0, fmt.Errorf("classify: need at least 2 references for cross-validation")
 	}
+	k := c.k
+	if k > len(c.refs)-1 {
+		k = len(c.refs) - 1
+	}
 	correct := 0
 	for i := range c.refs {
-		sub := &Classifier{
-			kern:    c.kern,
-			refs:    without(c.refs, i),
-			labels:  withoutStr(c.labels, i),
-			k:       min(c.k, len(c.refs)-1),
-			selfSim: withoutF(c.selfSim, i),
-		}
-		got, _, err := sub.Classify(c.refs[i])
+		matches, err := c.matches(c.refs[i])
 		if err != nil {
 			continue // degenerate reference; counts as incorrect
 		}
-		if got == c.labels[i] {
+		held := matches[:0:0]
+		for _, m := range matches {
+			if m.Index != i {
+				held = append(held, m)
+			}
+		}
+		if vote(held, k) == c.labels[i] {
 			correct++
 		}
 	}
 	return float64(correct) / float64(len(c.refs)), nil
-}
-
-func without(xs []token.String, i int) []token.String {
-	out := make([]token.String, 0, len(xs)-1)
-	out = append(out, xs[:i]...)
-	return append(out, xs[i+1:]...)
-}
-
-func withoutStr(xs []string, i int) []string {
-	out := make([]string, 0, len(xs)-1)
-	out = append(out, xs[:i]...)
-	return append(out, xs[i+1:]...)
-}
-
-func withoutF(xs []float64, i int) []float64 {
-	out := make([]float64, 0, len(xs)-1)
-	out = append(out, xs[:i]...)
-	return append(out, xs[i+1:]...)
 }

@@ -1,0 +1,51 @@
+package classify
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzLabelRecordParsing hardens the labels-file decoder: arbitrary bytes
+// must never panic or over-allocate, and everything the decoder accepts
+// must round-trip canonically through the encoder. The labels file is the
+// one classification artifact read back at boot, so a corrupted or
+// adversarial file must fail cleanly, not take the server down.
+func FuzzLabelRecordParsing(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeLabels(nil))
+	f.Add(encodeLabels(map[int]string{0: "reader"}))
+	f.Add(encodeLabels(map[int]string{3: "writer", 9: "mixed", 1 << 20: "x"}))
+	long := encodeLabels(map[int]string{1: string(bytes.Repeat([]byte("a"), MaxLabelLen))})
+	f.Add(long)
+	// Torn/corrupt variants of a valid image.
+	img := encodeLabels(map[int]string{1: "a", 2: "bb"})
+	f.Add(img[:len(img)-1])
+	flipped := append([]byte(nil), img...)
+	flipped[len(flipped)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		labels, err := decodeLabels(data)
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Accepted: the table must survive a canonical round-trip.
+		img := encodeLabels(labels)
+		again, err := decodeLabels(img)
+		if err != nil {
+			t.Fatalf("re-encode of accepted table rejected: %v", err)
+		}
+		if !reflect.DeepEqual(labels, again) {
+			t.Fatalf("round-trip changed the table: %v vs %v", labels, again)
+		}
+		for id, l := range labels {
+			if id < 0 {
+				t.Fatalf("decoder accepted negative id %d", id)
+			}
+			if err := ValidLabel(l); err != nil {
+				t.Fatalf("decoder accepted invalid label %q: %v", l, err)
+			}
+		}
+	})
+}

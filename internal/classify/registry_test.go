@@ -1,0 +1,174 @@
+package classify
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegistryInMemory(t *testing.T) {
+	r := NewRegistry()
+	if err := r.SetLabels(map[int]string{0: "reader", 1: "writer", 2: "reader"}); err != nil {
+		t.Fatal(err)
+	}
+	if l, ok := r.LabelOf(0); !ok || l != "reader" {
+		t.Fatalf("LabelOf(0) = %q, %v", l, ok)
+	}
+	if _, ok := r.LabelOf(9); ok {
+		t.Fatal("unlabelled id reported labelled")
+	}
+	if got := r.Counts(); !reflect.DeepEqual(got, map[string]int{"reader": 2, "writer": 1}) {
+		t.Fatalf("Counts = %v", got)
+	}
+	if err := r.SetLabel(1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d after removal", r.Len())
+	}
+	// Relabelling replaces, not duplicates.
+	if err := r.SetLabel(0, "mixed"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Counts(); !reflect.DeepEqual(got, map[string]int{"reader": 1, "mixed": 1}) {
+		t.Fatalf("Counts after relabel = %v", got)
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	r := NewRegistry()
+	bad := []map[int]string{
+		{-1: "x"},                       // negative id
+		{0: string(make([]byte, 300))},  // too long
+		{0: "a\nb"},                     // control char
+		{0: string([]byte{0xff, 0xfe})}, // invalid UTF-8
+	}
+	for i, assign := range bad {
+		if err := r.SetLabels(assign); err == nil {
+			t.Errorf("bad assignment %d accepted", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed assignment mutated the table")
+	}
+}
+
+// Durable crash recovery: mutations are committed atomically per call, so a
+// kill-without-close loses nothing — the reopened registry is identical.
+func TestRegistryCrashRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), DefaultLabelsFile)
+	r, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "reader", 3: "writer", 17: "mixed", 4: "reader"}
+	if err := r.SetLabels(want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLabel(3, ""); err != nil { // removal is durable too
+		t.Fatal(err)
+	}
+	delete(want, 3)
+	// Kill: no close, no flush call — just reopen the path.
+	r2, err := OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Assignments(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+}
+
+// A missing file is a fresh registry; a corrupted one is refused loudly.
+func TestRegistryOpenEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	r, err := OpenRegistry(filepath.Join(dir, "absent"))
+	if err != nil || r.Len() != 0 {
+		t.Fatalf("open of absent file: %v, len %d", err, r.Len())
+	}
+
+	path := filepath.Join(dir, "labels")
+	r, err = OpenRegistry(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SetLabel(5, "reader"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	data[len(labelsMagic)+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(path); err == nil {
+		t.Fatal("corrupted labels file accepted")
+	}
+	// Truncation is refused too.
+	if err := os.WriteFile(path, data[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenRegistry(path); err == nil {
+		t.Fatal("truncated labels file accepted")
+	}
+}
+
+// A crafted count field with a valid CRC must be refused by the payload-
+// size bound before it can size a huge allocation.
+func TestDecodeLabelsCountBound(t *testing.T) {
+	img := encodeLabels(nil)
+	// Rewrite the count varint (1 byte for count 0) to a huge value and
+	// re-frame with a fresh CRC.
+	head := img[:len(labelsMagic)+1]
+	var cnt [10]byte
+	n := 0
+	for v := uint64(1 << 23); ; n++ {
+		b := byte(v & 0x7f)
+		v >>= 7
+		if v != 0 {
+			cnt[n] = b | 0x80
+			continue
+		}
+		cnt[n] = b
+		n++
+		break
+	}
+	payload := append(append([]byte(nil), head...), cnt[:n]...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, labelsCRCTable))
+	forged := append(payload, crc[:]...)
+	if _, err := decodeLabels(forged); err == nil {
+		t.Fatal("oversized count accepted")
+	} else if !strings.Contains(err.Error(), "payload bytes") {
+		t.Fatalf("wrong rejection: %v", err)
+	}
+}
+
+// The codec round-trips canonically: encode(decode(encode(x))) == encode(x).
+func TestLabelsCodecRoundTrip(t *testing.T) {
+	tables := []map[int]string{
+		{},
+		{0: "a"},
+		{7: "reader", 2: "writer", 1024: "mixed-é"},
+	}
+	for i, want := range tables {
+		img := encodeLabels(want)
+		got, err := decodeLabels(img)
+		if err != nil {
+			t.Fatalf("table %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("table %d: round-trip %v, want %v", i, got, want)
+		}
+		if again := encodeLabels(got); !reflect.DeepEqual(again, img) {
+			t.Fatalf("table %d: encoding not canonical", i)
+		}
+	}
+}

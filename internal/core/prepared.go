@@ -19,6 +19,11 @@ import (
 type Prepared struct {
 	view seqView
 	str  token.String
+	// unknown holds the literals that were absent from the shared table when
+	// an ephemeral view was prepared (nil for interned views). They carry
+	// negative scratch ids, which can never collide with table ids; Stale
+	// reports whether any of them has been interned since.
+	unknown []string
 }
 
 // String returns the original weighted string the view was prepared from.
@@ -90,6 +95,79 @@ func (in *Interner) Size() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return len(in.idOf)
+}
+
+// PrepareEphemeral is Prepare for query-only strings: literals already in
+// the table resolve to their shared ids, but unknown literals are NOT
+// interned — they get negative scratch ids unique within this view, so the
+// shared table never grows from query traffic. A scratch id can never equal
+// a table id (those start at 1 and only grow), and the kernel only compares
+// ids for equality, so an unknown query literal simply never matches any
+// corpus literal — which is exactly right, because a literal absent from
+// the table is absent from every prepared corpus string.
+//
+// The returned view is valid against corpus views prepared before it. If a
+// concurrent Prepare interns one of the unknown literals afterwards, newer
+// corpus views would carry the table id while this view still carries the
+// scratch id; Stale detects that so callers can re-prepare. Views with no
+// unknown literals are never stale.
+func (in *Interner) PrepareEphemeral(x token.String) *Prepared {
+	cp := make(token.String, len(x))
+	copy(cp, x)
+
+	n := len(cp)
+	v := seqView{
+		ids:  make([]int32, n),
+		pw:   make([]int, n+1),
+		h1:   make([]uint64, n+1),
+		h2:   make([]uint64, n+1),
+		pow1: make([]uint64, n+1),
+		pow2: make([]uint64, n+1),
+	}
+	v.pow1[0], v.pow2[0] = 1, 1
+	var unknown []string
+	scratch := make(map[string]int32)
+	in.mu.Lock()
+	for i, t := range cp {
+		id, ok := in.idOf[t.Literal]
+		if !ok {
+			id, ok = scratch[t.Literal]
+			if !ok {
+				id = -int32(len(unknown)) - 1
+				scratch[t.Literal] = id
+				unknown = append(unknown, t.Literal)
+			}
+		}
+		v.ids[i] = id
+	}
+	in.mu.Unlock()
+	for i, t := range cp {
+		id := v.ids[i]
+		v.pw[i+1] = v.pw[i] + t.Weight
+		v.h1[i+1] = v.h1[i]*hashBase1 + uint64(id)
+		v.h2[i+1] = v.h2[i]*hashBase2 + uint64(id)
+		v.pow1[i+1] = v.pow1[i] * hashBase1
+		v.pow2[i+1] = v.pow2[i] * hashBase2
+	}
+	return &Prepared{view: v, str: cp, unknown: unknown}
+}
+
+// Stale reports whether any literal that was unknown when p was prepared
+// with PrepareEphemeral has since been interned into the table. A stale
+// view must not be compared against views prepared after the interning;
+// re-prepare instead. Views from Prepare are never stale.
+func (in *Interner) Stale(p *Prepared) bool {
+	if len(p.unknown) == 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, lit := range p.unknown {
+		if _, ok := in.idOf[lit]; ok {
+			return true
+		}
+	}
+	return false
 }
 
 // ComparePrepared is Compare over views prepared by a shared Interner. It

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"iokast/internal/token"
+)
+
+func wsOf(pairs ...any) token.String {
+	var s token.String
+	for i := 0; i < len(pairs); i += 2 {
+		s = append(s, token.Token{Literal: pairs[i].(string), Weight: pairs[i+1].(int)})
+	}
+	return s
+}
+
+// PrepareEphemeral must produce kernel values bit-identical to Prepare when
+// compared against interned corpus views — for queries whose literals are
+// all known, partially known, and entirely unknown — while never growing
+// the table.
+func TestPrepareEphemeralMatchesPrepare(t *testing.T) {
+	corpus := []token.String{
+		wsOf("root", 1, "open", 2, "write", 8, "close", 2),
+		wsOf("root", 1, "open", 2, "read", 4, "lseek", 1, "read", 4),
+		wsOf("root", 1, "write", 8, "write", 8),
+	}
+	queries := []token.String{
+		wsOf("root", 1, "open", 2, "write", 8),              // all known
+		wsOf("root", 1, "mmap", 3, "write", 8, "mmap", 3),   // partially known
+		wsOf("alpha", 2, "beta", 3, "alpha", 2, "gamma", 1), // all unknown
+	}
+	for _, k := range []*Kast{{CutWeight: 0}, {CutWeight: 2}, {CutWeight: 4}, {CutWeight: 2, Viability: ViaTotalWeight}} {
+		in := NewInterner()
+		preps := make([]*Prepared, len(corpus))
+		for i, x := range corpus {
+			preps[i] = in.Prepare(x)
+		}
+		base := in.Size()
+		for qi, q := range queries {
+			eq := in.PrepareEphemeral(q)
+			if in.Size() != base {
+				t.Fatalf("query %d grew the table: %d -> %d", qi, base, in.Size())
+			}
+			// Reference: a throwaway interner that does intern the query.
+			ref := NewInterner()
+			refPreps := make([]*Prepared, len(corpus))
+			for i, x := range corpus {
+				refPreps[i] = ref.Prepare(x)
+			}
+			rq := ref.Prepare(q)
+			for i := range corpus {
+				got := k.ComparePrepared(eq, preps[i])
+				want := k.ComparePrepared(rq, refPreps[i])
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("%s: query %d vs corpus %d: ephemeral %v, interned %v", k.Name(), qi, i, got, want)
+				}
+				// And both must equal the plain two-string kernel.
+				if direct := k.Compare(q, corpus[i]); math.Float64bits(got) != math.Float64bits(direct) {
+					t.Errorf("%s: query %d vs corpus %d: ephemeral %v, direct %v", k.Name(), qi, i, got, direct)
+				}
+			}
+			// Self-comparison is internally consistent too.
+			if got, want := k.ComparePrepared(eq, eq), k.Compare(q, q); math.Float64bits(got) != math.Float64bits(want) {
+				t.Errorf("%s: query %d self: ephemeral %v, direct %v", k.Name(), qi, got, want)
+			}
+		}
+	}
+}
+
+// Stale must flip exactly when a previously unknown literal gets interned.
+func TestPrepareEphemeralStale(t *testing.T) {
+	in := NewInterner()
+	in.Prepare(wsOf("known", 1))
+
+	allKnown := in.PrepareEphemeral(wsOf("known", 2))
+	if in.Stale(allKnown) {
+		t.Fatal("view with no unknown literals reported stale")
+	}
+	mixed := in.PrepareEphemeral(wsOf("known", 2, "fresh", 3))
+	if in.Stale(mixed) {
+		t.Fatal("stale before anything was interned")
+	}
+	in.Prepare(wsOf("unrelated", 1))
+	if in.Stale(mixed) {
+		t.Fatal("stale after interning an unrelated literal")
+	}
+	in.Prepare(wsOf("fresh", 5))
+	if !in.Stale(mixed) {
+		t.Fatal("not stale after the unknown literal was interned")
+	}
+	if in.Stale(allKnown) {
+		t.Fatal("fully known view became stale")
+	}
+	// Re-preparing resolves the literal to the now-shared id.
+	again := in.PrepareEphemeral(wsOf("known", 2, "fresh", 3))
+	if in.Stale(again) {
+		t.Fatal("re-prepared view still stale")
+	}
+}
+
+// Many distinct ephemeral views must not interfere with each other or the
+// table, whatever order they are built in.
+func TestPrepareEphemeralManyUniqueLiterals(t *testing.T) {
+	in := NewInterner()
+	p := in.Prepare(wsOf("a", 1, "b", 2))
+	k := &Kast{CutWeight: 2}
+	want := k.ComparePrepared(p, p)
+	for i := 0; i < 100; i++ {
+		q := in.PrepareEphemeral(wsOf(fmt.Sprintf("lit-%d", i), 3, "a", 1, "b", 2))
+		if got := k.ComparePrepared(q, p); got <= 0 {
+			t.Fatalf("query %d lost the shared substring: %v", i, got)
+		}
+		_ = want
+	}
+	if in.Size() != 2 {
+		t.Fatalf("table grew to %d literals from ephemeral queries", in.Size())
+	}
+}

@@ -302,6 +302,21 @@ func (e *Engine) newEntry(x token.String) *entry {
 	return ne
 }
 
+// newQueryEntry builds the representation for a query-only string. Unlike
+// newEntry it never grows the shared interner: unknown query literals get
+// ephemeral scratch ids (core.Interner.PrepareEphemeral), so read-only
+// query traffic — however diverse or adversarial — cannot permanently grow
+// engine memory. Safe for concurrent use.
+func (e *Engine) newQueryEntry(x token.String) *entry {
+	if e.kast == nil {
+		return e.newEntry(x)
+	}
+	ne := &entry{}
+	ne.prep = e.interner.PrepareEphemeral(x)
+	ne.x = ne.prep.String()
+	return ne
+}
+
 // sketchEntry fills ne.vec with the entry's sketch. Featured kernels are
 // sketched from their own feature maps, so the sketch cosine estimates the
 // kernel's cosine directly; Kast (and any other) kernels are sketched from
@@ -465,6 +480,15 @@ func (e *Engine) StringAt(id int) (token.String, bool) {
 	return append(token.String(nil), e.entries[id].x...), true
 }
 
+// Has reports whether id names a live (non-removed) corpus entry. It is
+// the allocation-free liveness check behind label validation; use StringAt
+// when the string itself is needed.
+func (e *Engine) Has(id int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return id >= 0 && id < len(e.entries) && e.entries[id] != nil
+}
+
 // NormalizedGram returns the paper's post-processed similarity matrix over
 // the live entries: Eq. 12 normalisation plus PSD repair for Kast kernels,
 // cosine normalisation plus PSD repair otherwise — exactly the
@@ -611,15 +635,25 @@ func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error)
 		return nil, fmt.Errorf("engine: empty query string")
 	}
 	// Representations are built outside any lock, like Add's compute
-	// phase. For Kast engines the query's literals are interned into the
-	// shared table, which only grows — repeated unknown-literal queries
-	// cost table memory, never correctness.
-	qe := e.newEntry(x)
+	// phase. For Kast engines the query is prepared against the shared
+	// interner without growing it: unknown literals get ephemeral scratch
+	// ids, so query traffic never costs table memory.
+	qe := e.newQueryEntry(x)
 	e.sketchEntry(qe)
 	self := e.compare(qe, qe)
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.kast != nil && e.interner.Stale(qe.prep) {
+		// A concurrent Add interned one of the query's unknown literals
+		// between preparation and the lock, so an entry committed before the
+		// lock may carry the table id where the query holds a scratch id.
+		// Re-prepare under the read lock: no further entry can commit while
+		// it is held, so the refreshed view agrees with every candidate.
+		// (Sketches and self-similarity depend only on the string, not on
+		// the id assignment, so they stay valid.)
+		qe.prep = e.interner.PrepareEphemeral(x)
+	}
 	if rerank < 0 {
 		rerank = defaultRerank(k)
 	}
@@ -688,6 +722,17 @@ func SortNeighbors(out []Neighbor) {
 		}
 		return out[a].ID < out[b].ID
 	})
+}
+
+// InternerSize returns the number of distinct literals in the shared Kast
+// interner table (0 for non-Kast engines). The table grows only with
+// ingested corpus strings, never with query traffic — the regression tests
+// for the SimilarTrace memory fix assert exactly that.
+func (e *Engine) InternerSize() int {
+	if e.interner == nil {
+		return 0
+	}
+	return e.interner.Size()
 }
 
 // SketchConfig reports whether sketching is enabled and, if so, the sketch

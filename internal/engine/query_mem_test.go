@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"iokast/internal/core"
+	"iokast/internal/token"
+)
+
+func qws(pairs ...any) token.String {
+	var s token.String
+	for i := 0; i < len(pairs); i += 2 {
+		s = append(s, token.Token{Literal: pairs[i].(string), Weight: pairs[i+1].(int)})
+	}
+	return s
+}
+
+// Regression for the SimilarTrace memory leak: query-only traffic with
+// unknown literals must not grow the shared Kast interner. Before the fix
+// every unknown query literal was interned forever, so a read-only endpoint
+// leaked memory under diverse (or adversarial) query streams.
+func TestSimilarTraceDoesNotGrowInterner(t *testing.T) {
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	e.Add(qws("root", 1, "write", 8, "write", 8))
+	e.Add(qws("root", 1, "read", 4, "lseek", 1))
+
+	base := e.InternerSize()
+	if base == 0 {
+		t.Fatal("corpus literals not interned")
+	}
+	for i := 0; i < 1000; i++ {
+		q := qws(fmt.Sprintf("unique-%d", i), 3, "write", 8, fmt.Sprintf("alien-%d", i), 2)
+		ns, err := e.SimilarTrace(q, 2, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ns) != 2 {
+			t.Fatalf("query %d: %d neighbors", i, len(ns))
+		}
+	}
+	if got := e.InternerSize(); got != base {
+		t.Fatalf("interner grew from %d to %d literals under query-only traffic", base, got)
+	}
+
+	// Ingesting still interns (the fix must not starve the write path).
+	e.Add(qws("root", 1, "brand-new-op", 2))
+	if got := e.InternerSize(); got <= base {
+		t.Fatalf("Add no longer interns: %d <= %d", got, base)
+	}
+}
+
+// The ephemeral query path must return the same bits as the pre-fix
+// interning path: compare against a normalized brute-force reference.
+func TestSimilarTraceEphemeralExactness(t *testing.T) {
+	kern := &core.Kast{CutWeight: 2}
+	e := New(Options{Kernel: kern, SketchDim: -1})
+	corpus := []token.String{
+		qws("root", 1, "open", 2, "write", 8, "close", 2),
+		qws("root", 1, "read", 4, "lseek", 1, "read", 4),
+		qws("root", 1, "write", 8, "write", 8, "fsync", 1),
+	}
+	for _, x := range corpus {
+		e.Add(x)
+	}
+	queries := []token.String{
+		qws("root", 1, "write", 8, "close", 2), // known literals
+		qws("root", 1, "mmap", 6, "write", 8),  // mixed
+		qws("zeta", 2, "eta", 3),               // fully unknown
+	}
+	for qi, q := range queries {
+		got, err := e.SimilarTrace(q, -1, len(corpus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(corpus) {
+			t.Fatalf("query %d: %d neighbors", qi, len(got))
+		}
+		self := kern.Compare(q, q)
+		for _, nb := range got {
+			want := 0.0
+			if d := self * kern.Compare(corpus[nb.ID], corpus[nb.ID]); d > 0 {
+				want = kern.Compare(q, corpus[nb.ID]) / math.Sqrt(d)
+			}
+			if math.Float64bits(nb.Similarity) != math.Float64bits(want) {
+				t.Errorf("query %d, corpus %d: got %v, want %v", qi, nb.ID, nb.Similarity, want)
+			}
+		}
+	}
+}
+
+// Race: unknown-literal queries run concurrently with Adds that intern
+// those very literals. Under -race this exercises the ephemeral overlay,
+// the staleness re-preparation under the read lock, and the interner mutex;
+// the assertions catch a query comparing scratch ids against table ids (the
+// shared-literal similarity would come out wrong).
+func TestSimilarTraceRaceWithAdds(t *testing.T) {
+	e := New(Options{Kernel: &core.Kast{CutWeight: 2}})
+	seedStr := qws("root", 1, "base", 5, "base", 5)
+	e.Add(seedStr)
+
+	const writers, queriesPerWriter = 4, 32
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < queriesPerWriter; i++ {
+				lit := fmt.Sprintf("hot-%d-%d", w, i)
+				// The query uses the literal before/while/after a writer
+				// interns it via Add.
+				q := qws("root", 1, lit, 4, "base", 5)
+				ns, err := e.SimilarTrace(q, -1, 1<<30)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				// Every result must include the seed entry with a positive
+				// similarity: "base base" is shared whatever happens to the
+				// unknown literal.
+				found := false
+				for _, nb := range ns {
+					if nb.ID == 0 {
+						found = true
+						if nb.Similarity <= 0 {
+							t.Errorf("writer %d query %d: seed similarity %v", w, i, nb.Similarity)
+						}
+					}
+				}
+				if !found {
+					t.Errorf("writer %d query %d: seed entry missing from %v", w, i, ns)
+				}
+				e.Add(qws("root", 1, lit, 4, "extra", 1))
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Len() != 1+writers*queriesPerWriter {
+		t.Fatalf("corpus size %d", e.Len())
+	}
+}

@@ -564,6 +564,30 @@ func (s *Sharded) Stats() []store.Stats {
 	return stats
 }
 
+// StringAt returns a copy of the live corpus string with the given global
+// id. ok is false for ids that were never assigned or have been removed —
+// the global-id form of engine.StringAt.
+func (s *Sharded) StringAt(id int) (token.String, bool) {
+	x, _, err := s.resolve(id)
+	if err != nil {
+		return nil, false
+	}
+	return x, true
+}
+
+// Has reports whether the global id names a live entry, without copying the
+// stored string — the global-id form of engine.Has.
+func (s *Sharded) Has(id int) bool {
+	s.mu.RLock()
+	if id < 0 || id >= len(s.locals) {
+		s.mu.RUnlock()
+		return false
+	}
+	lc := s.locals[id]
+	s.mu.RUnlock()
+	return s.engines[lc.shard].Has(lc.local)
+}
+
 // Strings returns copies of the live corpus strings in global id order,
 // with their global ids.
 func (s *Sharded) Strings() ([]token.String, []int) {
