@@ -1,0 +1,262 @@
+// Command iokload is an open-loop workload generator and latency-SLO
+// load harness for iokserve.
+//
+// It synthesizes a deterministic request schedule (or replays a recorded
+// corpus directory), drives the target over HTTP honouring the schedule
+// even when the server lags — so queueing delay shows up in the recorded
+// latency instead of silently thinning the offered load — and reports
+// per-endpoint latency quantiles, throughput, and error budget. SLO
+// gates turn the report into an exit code for CI.
+//
+// Usage:
+//
+//	iokload -target http://127.0.0.1:8080 [flags]
+//	iokload -spec workload.json -target ... [flag overrides]
+//	iokload -replay corpus-dir -speed 2 -target ...
+//	iokload -dry-run [flags]        # print the schedule digest, send nothing
+//
+// Exit codes: 0 = run completed and all SLO gates passed; 1 = run failed
+// or a gate failed; 2 = usage error.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"iokast/internal/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// multiFlag collects every occurrence of a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ";") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// run is the testable body of the command (the cmd/iokstats style): all
+// I/O goes through the arguments and the exit code is returned, so the
+// end-to-end tests drive the exact shipped code path in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("iokload", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	var (
+		target   = flags.String("target", "", "base URL of the iokserve instance, e.g. http://127.0.0.1:8080")
+		specPath = flags.String("spec", "", "JSON workload spec file; explicit flags below override its fields")
+		clients  = flags.Int("clients", 4, "independent open-loop clients")
+		duration = flags.Duration("duration", 10*time.Second, "timed-run length")
+		rate     = flags.Float64("rate", 50, "per-client request rate (req/s); aggregate load is clients*rate")
+		arrival  = flags.String("arrival", "poisson", "arrival process: constant, poisson, or gamma")
+		shape    = flags.Float64("shape", 0, "gamma shape parameter (gamma only; 0 = default 0.5)")
+		periods  = flags.String("periods", "", "bursty rate cycle for gamma arrivals, e.g. 200ms*4,800ms*0.25")
+		mix      = flags.String("mix", "ingest=2,batch=0.5,similar_id=3,similar_trace=2,classify=2,delete=0.5", "op mix weights (op=weight,...)")
+		seed     = flags.Uint64("seed", 1, "run seed; the same seed always produces the same schedule")
+		prefill  = flags.Int("prefill", 64, "traces ingested and labelled before the timed run")
+		batch    = flags.Int("batch", 0, "traces per batch request (0 = default 4)")
+		k        = flags.Int("k", 0, "neighbours per query op (0 = default 5)")
+		workers  = flags.Int("workers", 0, "max in-flight requests (0 = 8 per CPU)")
+		jsonPath = flags.String("json", "", "write the JSON report to this file ('-' = stdout)")
+		replay   = flags.String("replay", "", "replay a recorded corpus directory instead of synthesizing")
+		speed    = flags.Float64("speed", 1, "replay speed factor (2 = twice as fast as recorded)")
+		dryRun   = flags.Bool("dry-run", false, "build and summarize the schedule without sending anything")
+	)
+	var sloSpecs multiFlag
+	flags.Var(&sloSpecs, "slo", "SLO gates, e.g. '/classify:p99<5ms,err<0.1%' (repeatable)")
+	if err := flags.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	if flags.NArg() > 0 {
+		fmt.Fprintf(stderr, "iokload: unexpected arguments %q\n", flags.Args())
+		return 2
+	}
+
+	var gates []load.Gate
+	for _, s := range sloSpecs {
+		gs, err := load.ParseSLO(s)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: -slo %q: %v\n", s, err)
+			return 2
+		}
+		gates = append(gates, gs...)
+	}
+
+	arrivalSpec := load.ArrivalSpec{Process: *arrival, Shape: *shape}
+	if *periods != "" {
+		ps, err := load.ParsePeriods(*periods)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 2
+		}
+		arrivalSpec.Periods = ps
+	}
+
+	var (
+		schedule []load.Request
+		spec     *load.Spec
+	)
+	if *replay != "" {
+		recs, err := load.LoadCorpusDir(*replay)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 2
+		}
+		schedule, err = load.BuildReplaySchedule(recs, *speed, *rate, *seed, arrivalSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 2
+		}
+	} else {
+		// Start from the spec file when given, then lay the explicitly-set
+		// flags on top; without a file every flag (explicit or default)
+		// defines the spec.
+		set := map[string]bool{}
+		flags.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		use := func(name string) bool { return *specPath == "" || set[name] }
+
+		var s load.Spec
+		if *specPath != "" {
+			var err error
+			if s, err = load.ReadSpec(*specPath); err != nil {
+				fmt.Fprintf(stderr, "iokload: %v\n", err)
+				return 2
+			}
+		}
+		if use("clients") {
+			s.Clients = *clients
+		}
+		if use("duration") {
+			s.Duration = load.Duration(*duration)
+		}
+		if use("rate") {
+			s.Rate = *rate
+		}
+		if use("arrival") || use("shape") || use("periods") {
+			s.Arrival = arrivalSpec
+		}
+		if use("mix") {
+			m, err := load.ParseMix(*mix)
+			if err != nil {
+				fmt.Fprintf(stderr, "iokload: %v\n", err)
+				return 2
+			}
+			s.Mix = m
+		}
+		if use("seed") {
+			s.Seed = *seed
+		}
+		if use("prefill") {
+			s.Prefill = *prefill
+		}
+		if use("batch") {
+			s.BatchSize = *batch
+		}
+		if use("k") {
+			s.K = *k
+		}
+		var err error
+		if schedule, err = load.BuildSchedule(s); err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 2
+		}
+		spec = &s
+	}
+
+	if *dryRun {
+		printSchedule(stdout, schedule)
+		return 0
+	}
+	if *target == "" {
+		fmt.Fprintln(stderr, "iokload: -target is required (or use -dry-run)")
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	runner := &load.Runner{Target: strings.TrimRight(*target, "/"), Workers: *workers}
+
+	if spec != nil && spec.Prefill > 0 {
+		bodies, labels := load.PrefillBodies(*spec)
+		n, err := runner.Prefill(ctx, bodies, labels)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "prefilled %d labelled traces\n", n)
+	}
+
+	res, runErr := runner.Run(ctx, schedule)
+	rep := load.BuildReport(runner.Target, spec, res)
+	pass := load.Evaluate(gates, rep)
+	rep.WriteHuman(stdout)
+	if *jsonPath != "" {
+		if err := writeReport(rep, *jsonPath, stdout); err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 1
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintf(stderr, "iokload: %v\n", runErr)
+		return 1
+	}
+	if !pass {
+		fmt.Fprintln(stderr, "iokload: SLO gates failed")
+		return 1
+	}
+	return 0
+}
+
+// printSchedule summarizes a dry-run schedule: per-endpoint counts plus
+// a digest over every request field, so two runs with the same seed can
+// be diffed line-for-line (the determinism contract, test-asserted).
+func printSchedule(w io.Writer, schedule []load.Request) {
+	counts := map[string]int{}
+	h := sha256.New()
+	var last time.Duration
+	for i := range schedule {
+		r := &schedule[i]
+		counts[r.Op.Endpoint()]++
+		fmt.Fprintf(h, "%d|%d|%s|%s|%s|%s\n", r.Client, r.Due, r.Op, r.Method, r.Path, r.Body)
+		if r.Due > last {
+			last = r.Due
+		}
+	}
+	fmt.Fprintf(w, "schedule: %d requests over %v\n", len(schedule), last)
+	eps := make([]string, 0, len(counts))
+	for ep := range counts {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		fmt.Fprintf(w, "  %-22s %8d\n", ep, counts[ep])
+	}
+	fmt.Fprintf(w, "digest: sha256:%x\n", h.Sum(nil))
+}
+
+// writeReport writes the JSON report to path, with "-" meaning stdout.
+func writeReport(rep *load.Report, path string, stdout io.Writer) error {
+	if path == "-" {
+		return rep.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -63,7 +63,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -75,10 +77,25 @@ import (
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/serve"
 	"iokast/internal/shard"
 	"iokast/internal/sketch"
 	"iokast/internal/store"
 )
+
+// listenAndAnnounce binds addr and prints one machine-parsable readiness
+// line to w. Harnesses (cmd/iokload, CI) start iokserve with -addr
+// 127.0.0.1:0 and read the actual port from this line instead of polling
+// with sleep-loops; it is the only thing the server writes to stdout (logs
+// go to stderr), so `awk '/^LISTENING/{print $2}'` is race-free.
+func listenAndAnnounce(addr string, w io.Writer) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "LISTENING %s\n", ln.Addr())
+	return ln, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -139,7 +156,7 @@ func main() {
 	}
 
 	var (
-		srv        *server
+		srv        *serve.Server
 		checkpoint func() error // non-nil when shutdown must close a store
 	)
 	if *shards > 1 {
@@ -162,7 +179,7 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		srv = newShardedServer(sh, reg, core.Options{IgnoreBytes: *noBytes})
+		srv = serve.NewSharded(sh, reg, core.Options{IgnoreBytes: *noBytes})
 	} else {
 		var (
 			eng *engine.Engine
@@ -179,10 +196,15 @@ func main() {
 		} else {
 			eng = engine.New(eopt)
 		}
-		srv = newServer(eng, st, reg, core.Options{IgnoreBytes: *noBytes})
+		srv = serve.New(eng, st, reg, core.Options{IgnoreBytes: *noBytes})
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	httpSrv := &http.Server{Handler: srv}
+	ln, err := listenAndAnnounce(*addr, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)
+		os.Exit(1)
+	}
 
 	done := make(chan struct{})
 	if checkpoint != nil {
@@ -210,8 +232,8 @@ func main() {
 		}()
 	}
 
-	log.Printf("iokserve: kernel %s, listening on %s", kern.Name(), *addr)
-	if err := httpSrv.ListenAndServe(); err != http.ErrServerClosed {
+	log.Printf("iokserve: kernel %s, listening on %s", kern.Name(), ln.Addr())
+	if err := httpSrv.Serve(ln); err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 	<-done

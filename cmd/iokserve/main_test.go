@@ -1,0 +1,52 @@
+package main
+
+import (
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestListenAndAnnounce pins the machine-parsable readiness line: binding
+// :0 must print the *resolved* address (real port, not ":0"), in exactly
+// the `LISTENING host:port` form cmd/iokload and the CI load-smoke job
+// parse, and the printed address must actually accept connections.
+func TestListenAndAnnounce(t *testing.T) {
+	var out strings.Builder
+	ln, err := listenAndAnnounce("127.0.0.1:0", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	line := out.String()
+	if !regexp.MustCompile(`^LISTENING 127\.0\.0\.1:\d+\n$`).MatchString(line) {
+		t.Fatalf("announce line %q not machine-parsable", line)
+	}
+	addr := strings.TrimSpace(strings.TrimPrefix(line, "LISTENING "))
+	if addr != ln.Addr().String() {
+		t.Fatalf("announced %q but listening on %q", addr, ln.Addr())
+	}
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("announced unresolved port: %q", addr)
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial announced address: %v", err)
+	}
+	conn.Close()
+}
+
+// TestListenAndAnnounceBindError checks a bad address fails without
+// printing a readiness line a harness could mistake for success.
+func TestListenAndAnnounceBindError(t *testing.T) {
+	var out strings.Builder
+	ln, err := listenAndAnnounce("256.256.256.256:0", &out)
+	if err == nil {
+		ln.Close()
+		t.Fatal("expected bind error")
+	}
+	if out.Len() != 0 {
+		t.Fatalf("bind failed but announced %q", out.String())
+	}
+}

@@ -1,0 +1,89 @@
+package iogen
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"iokast/internal/trace"
+	"iokast/internal/xrand"
+)
+
+// This file exports the seeded corpus helpers the load harness
+// (internal/load, cmd/iokload) builds on: per-client seed derivation, a
+// deterministic stream of canonical trace bodies, and on-disk corpus
+// directories for replay mode. Everything is a pure function of its
+// seed, so two harness runs with the same --seed synthesize
+// byte-identical request bodies.
+
+// LoadCategories are the default categories for per-request load bodies:
+// the paper's B, C, and D patterns, whose traces render to a few hundred
+// lines of text each. Category A (FLASH checkpoint bursts) is excluded
+// by default because a single A trace renders to ~250 KB — realistic for
+// ingest soak tests (opt in by passing an explicit category list), far
+// too heavy as the body of every generated request.
+var LoadCategories = []Category{CatRandomPOSIX, CatNormal, CatRandomAccess}
+
+// ClientSeed derives the seed for one load client from the run seed.
+// Each client gets an independent SplitMix64 stream (one generator step
+// over a client-salted state), so adding a client never perturbs the
+// schedules of the others — the property the harness's determinism
+// contract ("same --seed, same schedule") rests on.
+func ClientSeed(seed uint64, client int) uint64 {
+	// The salt constant is the SplitMix64 golden-ratio increment; any
+	// odd constant would do, this one keeps the mixing story uniform.
+	return xrand.New(seed ^ (0x9e3779b97f4a7c15 * uint64(client+1))).Uint64()
+}
+
+// BodyGen is a deterministic stream of canonical-format trace bodies
+// drawn from a fixed category set. It is not safe for concurrent use;
+// give each client its own (see ClientSeed).
+type BodyGen struct {
+	r    *xrand.Rand
+	cats []Category
+}
+
+// NewBodyGen builds a body stream. An empty or nil cats defaults to
+// LoadCategories.
+func NewBodyGen(seed uint64, cats []Category) *BodyGen {
+	if len(cats) == 0 {
+		cats = LoadCategories
+	}
+	return &BodyGen{r: xrand.New(seed), cats: cats}
+}
+
+// Next synthesizes the next trace and returns its canonical text plus
+// the category it was drawn from (the ground-truth label for /classify
+// traffic and prefill labelling).
+func (g *BodyGen) Next() (body string, cat Category) {
+	cat = g.cats[g.r.Intn(len(g.cats))]
+	t, err := GenerateExtended(cat, g.r)
+	if err != nil {
+		// The category came from our own fixed list; reaching here is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("iogen: BodyGen category %q: %v", cat, err))
+	}
+	return trace.FormatString(t), cat
+}
+
+// WriteCorpusDir writes n deterministic traces into dir (created if
+// needed) as zero-padded .trace files in generation order and returns
+// the file names. The result is a replayable corpus: iokload --replay
+// consumes exactly this layout, and the same (seed, n, cats) always
+// produces byte-identical files.
+func WriteCorpusDir(dir string, n int, seed uint64, cats []Category) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	g := NewBodyGen(seed, cats)
+	names := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		body, cat := g.Next()
+		name := fmt.Sprintf("%05d_%s.trace", i, cat)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}

@@ -1,0 +1,114 @@
+package iogen
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"iokast/internal/trace"
+)
+
+// TestClientSeedStreams: every client (and the reserved negative
+// streams) gets a distinct seed, deterministically.
+func TestClientSeedStreams(t *testing.T) {
+	seen := map[uint64]int{}
+	for c := -2; c < 64; c++ {
+		s := ClientSeed(42, c)
+		if s != ClientSeed(42, c) {
+			t.Fatalf("ClientSeed(42, %d) not deterministic", c)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("clients %d and %d share seed %#x", prev, c, s)
+		}
+		seen[s] = c
+	}
+	if ClientSeed(1, 0) == ClientSeed(2, 0) {
+		t.Fatal("run seeds 1 and 2 give client 0 the same stream")
+	}
+}
+
+// TestBodyGenDeterministicAndParseable: the body stream is a pure
+// function of its seed, every body is a canonical trace that parses
+// back, and the category labels come from the configured set.
+func TestBodyGenDeterministicAndParseable(t *testing.T) {
+	g1, g2 := NewBodyGen(7, nil), NewBodyGen(7, nil)
+	allowed := map[Category]bool{}
+	for _, c := range LoadCategories {
+		allowed[c] = true
+	}
+	for i := 0; i < 20; i++ {
+		b1, c1 := g1.Next()
+		b2, c2 := g2.Next()
+		if b1 != b2 || c1 != c2 {
+			t.Fatalf("body stream diverged at %d", i)
+		}
+		if !allowed[c1] {
+			t.Fatalf("body %d drawn from %q, not in LoadCategories", i, c1)
+		}
+		tr, err := trace.Parse(strings.NewReader(b1))
+		if err != nil {
+			t.Fatalf("body %d does not parse: %v", i, err)
+		}
+		if len(tr.Ops) == 0 {
+			t.Fatalf("body %d parsed to an empty trace", i)
+		}
+	}
+	g3 := NewBodyGen(8, nil)
+	b1, _ := NewBodyGen(7, nil).Next()
+	b3, _ := g3.Next()
+	if b1 == b3 {
+		t.Fatal("seeds 7 and 8 synthesized identical first bodies")
+	}
+}
+
+// TestBodyGenCategoryRestriction: an explicit category list is honoured,
+// including the heavy category A that LoadCategories excludes.
+func TestBodyGenCategoryRestriction(t *testing.T) {
+	g := NewBodyGen(3, []Category{CatFlash})
+	for i := 0; i < 3; i++ {
+		if _, cat := g.Next(); cat != CatFlash {
+			t.Fatalf("draw %d category %q, want %q", i, cat, CatFlash)
+		}
+	}
+}
+
+// TestWriteCorpusDir: the on-disk corpus is byte-identical across runs
+// with the same seed, file names carry the generation order and
+// category, and the contents are the BodyGen stream.
+func TestWriteCorpusDir(t *testing.T) {
+	d1, d2 := t.TempDir(), t.TempDir()
+	n1, err := WriteCorpusDir(d1, 8, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := WriteCorpusDir(d2, 8, 11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n1, n2) {
+		t.Fatalf("file names diverged: %v vs %v", n1, n2)
+	}
+	if len(n1) != 8 {
+		t.Fatalf("%d files, want 8", len(n1))
+	}
+	g := NewBodyGen(11, nil)
+	for i, name := range n1 {
+		wantBody, cat := g.Next()
+		if !strings.HasPrefix(name, "0000") || !strings.HasSuffix(name, string(cat)+".trace") {
+			t.Errorf("file %d named %q, want %05d_%s.trace shape", i, name, i, cat)
+		}
+		b1, err := os.ReadFile(filepath.Join(d1, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := os.ReadFile(filepath.Join(d2, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b1) != wantBody || string(b2) != wantBody {
+			t.Errorf("file %q diverges from the seeded body stream", name)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package load
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"iokast/internal/xrand"
+)
+
+// Arrival produces the inter-arrival gaps of one client's open-loop
+// request stream. Implementations are deterministic in the xrand state
+// they were built with: the same seed yields the same schedule, which is
+// what makes load runs reproducible and diffable.
+type Arrival interface {
+	// Next returns the gap between the previous request and the next one.
+	Next() time.Duration
+}
+
+// Period is one phase of a bursty multi-period arrival cycle: for Dur of
+// virtual time the base rate is multiplied by RateMult. A cycle like
+// {200ms x 4.0, 800ms x 0.25} alternates a 4x burst with a quiet phase
+// while keeping the long-run average at the base rate.
+type Period struct {
+	Dur      Duration `json:"dur"`
+	RateMult float64  `json:"rate_mult"`
+}
+
+// ArrivalSpec selects and parameterizes an arrival process.
+type ArrivalSpec struct {
+	// Process is "constant", "poisson", or "gamma".
+	Process string `json:"process"`
+	// Shape is the Gamma shape parameter k (gamma only). k = 1 is
+	// exponential (Poisson process); k < 1 is burstier than Poisson
+	// (clumped arrivals with long gaps); k > 1 is more regular. The
+	// default is 0.5.
+	Shape float64 `json:"shape,omitempty"`
+	// Periods is the bursty rate-modulation cycle (gamma only; empty
+	// means a flat rate).
+	Periods []Period `json:"periods,omitempty"`
+}
+
+// Validate checks the spec against rate (requests/second).
+func (a ArrivalSpec) Validate(rate float64) error {
+	if !(rate > 0) {
+		return fmt.Errorf("load: rate must be > 0, got %v", rate)
+	}
+	switch a.Process {
+	case "constant", "poisson":
+		if a.Shape != 0 || len(a.Periods) != 0 {
+			return fmt.Errorf("load: shape/periods only apply to the gamma process")
+		}
+	case "gamma":
+		if a.Shape < 0 {
+			return fmt.Errorf("load: gamma shape must be > 0, got %v", a.Shape)
+		}
+		for i, p := range a.Periods {
+			if p.Dur <= 0 || !(p.RateMult > 0) {
+				return fmt.Errorf("load: periods[%d] needs dur > 0 and rate_mult > 0", i)
+			}
+		}
+	default:
+		return fmt.Errorf("load: unknown arrival process %q (want constant, poisson, or gamma)", a.Process)
+	}
+	return nil
+}
+
+// NewArrival builds the arrival process for one client. r is consumed by
+// the returned process and must not be shared with other draws.
+func NewArrival(spec ArrivalSpec, rate float64, r *xrand.Rand) (Arrival, error) {
+	if err := spec.Validate(rate); err != nil {
+		return nil, err
+	}
+	switch spec.Process {
+	case "constant":
+		return &constantArrival{gap: secondsToDuration(1 / rate)}, nil
+	case "poisson":
+		return &poissonArrival{rate: rate, r: r}, nil
+	default: // "gamma", after Validate
+		shape := spec.Shape
+		if shape == 0 {
+			shape = 0.5
+		}
+		return &gammaArrival{rate: rate, shape: shape, periods: spec.Periods, r: r}, nil
+	}
+}
+
+// constantArrival fires at a fixed rate: the deterministic baseline that
+// makes throughput and queueing effects easiest to reason about.
+type constantArrival struct{ gap time.Duration }
+
+func (c *constantArrival) Next() time.Duration { return c.gap }
+
+// poissonArrival draws exponential inter-arrival gaps: the memoryless
+// process of many independent clients, the standard load-test default.
+type poissonArrival struct {
+	rate float64
+	r    *xrand.Rand
+}
+
+func (p *poissonArrival) Next() time.Duration {
+	return secondsToDuration(expSample(p.r) / p.rate)
+}
+
+// gammaArrival draws Gamma(shape, scale)-distributed gaps with the scale
+// chosen so the mean gap at the base rate is 1/rate. Shape < 1 yields
+// bursty, clumped arrivals; shape = 1 recovers the Poisson process. The
+// optional period cycle modulates the rate over virtual time (the sum of
+// gaps handed out) by inverting the piecewise-constant rate function:
+// each drawn gap is an amount of base-rate "arrival mass", consumed
+// RateMult times faster inside a burst period — so a gap that spans a
+// period boundary is stretched or compressed exactly, and the long-run
+// rate equals the base rate times the time-weighted mean multiplier with
+// no boundary bias.
+type gammaArrival struct {
+	rate    float64
+	shape   float64
+	periods []Period
+	r       *xrand.Rand
+
+	idx      int           // current period in the cycle
+	inPeriod time.Duration // virtual time spent inside it
+}
+
+func (g *gammaArrival) Next() time.Duration {
+	base := gammaSample(g.r, g.shape) / (g.rate * g.shape) // seconds at the base rate
+	if len(g.periods) == 0 {
+		return secondsToDuration(base)
+	}
+	var gap float64 // virtual seconds
+	for {
+		p := g.periods[g.idx]
+		left := (time.Duration(p.Dur) - g.inPeriod).Seconds()
+		need := base / p.RateMult // virtual time to drain the rest at this period's rate
+		if need <= left {
+			g.inPeriod += secondsToDuration(need)
+			return secondsToDuration(gap + need)
+		}
+		gap += left
+		base -= left * p.RateMult
+		g.idx = (g.idx + 1) % len(g.periods)
+		g.inPeriod = 0
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
+
+// expSample draws from Exp(1). 1-Float64() is in (0, 1], so the log is
+// finite.
+func expSample(r *xrand.Rand) float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// normSample draws from the standard normal via Box-Muller. The polar
+// variant would reject draws, costing determinism nothing but making the
+// consumed-stream length data-dependent for no benefit here.
+func normSample(r *xrand.Rand) float64 {
+	u1 := 1 - r.Float64() // (0, 1]: log stays finite
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gammaSample draws from Gamma(shape, 1) by Marsaglia-Tsang (ACM TOMS
+// 2000) for shape >= 1, boosted with the standard U^(1/shape) factor for
+// shape < 1.
+func gammaSample(r *xrand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := 1 - r.Float64() // (0, 1]
+		return gammaSample(r, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := normSample(r)
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"iokast/internal/xrand"
+)
+
+// burstPeriods is the bursty cycle used across the arrival tests: a
+// 200ms 4x burst followed by an 800ms quiet quarter-rate phase.
+func burstPeriods() []Period {
+	return []Period{
+		{Dur: Duration(200 * time.Millisecond), RateMult: 4},
+		{Dur: Duration(800 * time.Millisecond), RateMult: 0.25},
+	}
+}
+
+// TestArrivalGolden pins the first 20 inter-arrival gaps of every
+// process at rate 100/s, seed 42. These values are the determinism
+// contract: if any of them moves, previously recorded load runs are no
+// longer reproducible, so changing them is a reviewed decision (and a
+// report-format version bump), not a refactor side-effect.
+func TestArrivalGolden(t *testing.T) {
+	golden := map[string][]int64{
+		"constant": {
+			10000000, 10000000, 10000000, 10000000, 10000000,
+			10000000, 10000000, 10000000, 10000000, 10000000,
+			10000000, 10000000, 10000000, 10000000, 10000000,
+			10000000, 10000000, 10000000, 10000000, 10000000,
+		},
+		"poisson": {
+			13531106, 1742467, 3265631, 4218853, 387722,
+			20266827, 2464188, 16126023, 4154110, 9635974,
+			2292897, 6792229, 7203049, 7339969, 10941007,
+			2274467, 1093398, 6841848, 980844, 11677899,
+		},
+		"gamma": {
+			352767, 7635489, 3568552, 734009, 10311994,
+			7814, 4814507, 27481, 199668, 5388052,
+			1188527, 1207106, 129518, 8494760, 1218921,
+			180222, 7767429, 260182, 6593853, 2144860,
+		},
+	}
+	for name, want := range golden {
+		spec := ArrivalSpec{Process: name}
+		if name == "gamma" {
+			spec.Shape = 0.5
+			spec.Periods = burstPeriods()
+		}
+		a, err := NewArrival(spec, 100, xrand.New(42))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, w := range want {
+			if got := int64(a.Next()); got != w {
+				t.Errorf("%s gap[%d] = %d, want %d", name, i, got, w)
+			}
+		}
+	}
+}
+
+// TestArrivalDeterminism: the same seed always produces the same gap
+// stream, and different seeds diverge.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, name := range []string{"poisson", "gamma"} {
+		spec := ArrivalSpec{Process: name}
+		if name == "gamma" {
+			spec.Shape = 0.7
+		}
+		a1, _ := NewArrival(spec, 50, xrand.New(7))
+		a2, _ := NewArrival(spec, 50, xrand.New(7))
+		a3, _ := NewArrival(spec, 50, xrand.New(8))
+		diverged := false
+		for i := 0; i < 500; i++ {
+			g1, g2, g3 := a1.Next(), a2.Next(), a3.Next()
+			if g1 != g2 {
+				t.Fatalf("%s: same seed diverged at gap %d: %v vs %v", name, i, g1, g2)
+			}
+			if g1 != g3 {
+				diverged = true
+			}
+		}
+		if !diverged {
+			t.Errorf("%s: seeds 7 and 8 produced identical 500-gap streams", name)
+		}
+	}
+}
+
+// TestArrivalMeanRate: over many draws the mean gap must approximate
+// 1/rate for every process — a distribution-sanity check that the
+// samplers are parameterized correctly, not just deterministic.
+func TestArrivalMeanRate(t *testing.T) {
+	const rate = 200.0
+	const n = 200000
+	for _, tc := range []struct {
+		name string
+		spec ArrivalSpec
+		tol  float64
+	}{
+		{"constant", ArrivalSpec{Process: "constant"}, 0.001},
+		{"poisson", ArrivalSpec{Process: "poisson"}, 0.02},
+		{"gamma-flat", ArrivalSpec{Process: "gamma", Shape: 0.5}, 0.03},
+		{"gamma-regular", ArrivalSpec{Process: "gamma", Shape: 4}, 0.02},
+		// The bursty cycle is rate-balanced (200ms@4x + 800ms@0.25x
+		// averages 1x), so the long-run mean still holds.
+		{"gamma-bursty", ArrivalSpec{Process: "gamma", Shape: 0.5, Periods: burstPeriods()}, 0.05},
+	} {
+		a, err := NewArrival(tc.spec, rate, xrand.New(99))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			g := a.Next()
+			if g < 0 {
+				t.Fatalf("%s: negative gap %v", tc.name, g)
+			}
+			sum += g
+		}
+		mean := sum.Seconds() / n
+		if rel := math.Abs(mean-1/rate) * rate; rel > tc.tol {
+			t.Errorf("%s: mean gap %.6fs, want 1/%.0f (rel err %.4f > %.4f)", tc.name, mean, rate, rel, tc.tol)
+		}
+	}
+}
+
+// TestGammaBurstiness: shape < 1 must produce a more variable gap
+// stream than Poisson (coefficient of variation > 1), shape > 1 a more
+// regular one — the property that makes the knob worth having.
+func TestGammaBurstiness(t *testing.T) {
+	cv := func(spec ArrivalSpec) float64 {
+		a, err := NewArrival(spec, 100, xrand.New(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 100000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			g := a.Next().Seconds()
+			sum += g
+			sumSq += g * g
+		}
+		mean := sum / n
+		return math.Sqrt(sumSq/n-mean*mean) / mean
+	}
+	bursty := cv(ArrivalSpec{Process: "gamma", Shape: 0.3})
+	poisson := cv(ArrivalSpec{Process: "poisson"})
+	regular := cv(ArrivalSpec{Process: "gamma", Shape: 6})
+	if !(bursty > poisson && poisson > regular) {
+		t.Fatalf("CV ordering violated: gamma(0.3)=%.3f, poisson=%.3f, gamma(6)=%.3f", bursty, poisson, regular)
+	}
+	if poisson < 0.9 || poisson > 1.1 {
+		t.Errorf("poisson CV = %.3f, want ~1", poisson)
+	}
+}
+
+// TestGammaPeriodsModulate: during the 4x burst phase the mean gap must
+// be ~4x shorter than during the 0.25x quiet phase.
+func TestGammaPeriodsModulate(t *testing.T) {
+	a, err := NewArrival(ArrivalSpec{Process: "gamma", Shape: 1, Periods: burstPeriods()}, 100, xrand.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := a.(*gammaArrival)
+	var burstSum, quietSum time.Duration
+	var burstN, quietN int
+	for i := 0; i < 200000; i++ {
+		inBurst := g.idx == 0
+		gap := a.Next()
+		if inBurst {
+			burstSum += gap
+			burstN++
+		} else {
+			quietSum += gap
+			quietN++
+		}
+	}
+	if burstN == 0 || quietN == 0 {
+		t.Fatalf("phases not visited: burst %d, quiet %d", burstN, quietN)
+	}
+	ratio := (quietSum.Seconds() / float64(quietN)) / (burstSum.Seconds() / float64(burstN))
+	if ratio < 8 || ratio > 32 { // ideal 16x (4 / 0.25), generous band
+		t.Fatalf("quiet/burst mean-gap ratio = %.1f, want ~16", ratio)
+	}
+}
+
+// TestArrivalSpecValidation: malformed specs are rejected with errors,
+// not silently defaulted.
+func TestArrivalSpecValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec ArrivalSpec
+		rate float64
+	}{
+		{"unknown process", ArrivalSpec{Process: "weibull"}, 10},
+		{"zero rate", ArrivalSpec{Process: "poisson"}, 0},
+		{"negative rate", ArrivalSpec{Process: "constant"}, -1},
+		{"shape on poisson", ArrivalSpec{Process: "poisson", Shape: 2}, 10},
+		{"periods on constant", ArrivalSpec{Process: "constant", Periods: burstPeriods()}, 10},
+		{"negative shape", ArrivalSpec{Process: "gamma", Shape: -1}, 10},
+		{"zero-mult period", ArrivalSpec{Process: "gamma", Periods: []Period{{Dur: Duration(time.Second), RateMult: 0}}}, 10},
+		{"zero-dur period", ArrivalSpec{Process: "gamma", Periods: []Period{{Dur: 0, RateMult: 1}}}, 10},
+	} {
+		if _, err := NewArrival(tc.spec, tc.rate, xrand.New(1)); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package load
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"iokast/internal/xrand"
+)
+
+// exactQuantile is the sorted-slice oracle the histogram is checked
+// against: the ceil(q*n)-th order statistic, matching the histogram's
+// rank convention.
+func exactQuantile(sorted []time.Duration, q float64) time.Duration {
+	rank := int(q*float64(len(sorted)) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// maxQuantileError is the histogram's worst-case half-width at v: the
+// oracle value and the reported midpoint may sit one bucket apart, so
+// the tolerance is one full bucket width at that magnitude ("±1
+// bucket").
+func maxQuantileError(v time.Duration) time.Duration {
+	u := int64(v) / histUnit
+	idx := bucketOf(u)
+	exp := uint(idx >> histSubBits)
+	return time.Duration((int64(1) << exp) * histUnit)
+}
+
+func checkQuantiles(t *testing.T, name string, values []time.Duration) {
+	t.Helper()
+	var h Histogram
+	for _, v := range values {
+		h.Record(v)
+	}
+	sorted := append([]time.Duration(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	if h.Count() != int64(len(values)) {
+		t.Fatalf("%s: count %d, want %d", name, h.Count(), len(values))
+	}
+	if h.Min() != sorted[0] || h.Max() != sorted[len(sorted)-1] {
+		t.Fatalf("%s: min/max %v/%v, want exact %v/%v", name, h.Min(), h.Max(), sorted[0], sorted[len(sorted)-1])
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		want := exactQuantile(sorted, q)
+		tol := maxQuantileError(want)
+		if diff := got - want; diff > tol || diff < -tol {
+			t.Errorf("%s q=%v: histogram %v vs oracle %v (|diff| %v > bucket width %v)",
+				name, q, got, want, diff, tol)
+		}
+	}
+}
+
+// TestHistogramVsOracle checks quantiles against the exact sorted-slice
+// oracle (within one bucket) across distributions spanning the whole
+// latency range.
+func TestHistogramVsOracle(t *testing.T) {
+	r := xrand.New(12345)
+	uniform := make([]time.Duration, 10000)
+	for i := range uniform {
+		uniform[i] = time.Duration(r.IntRange(50, 200_000)) * time.Microsecond
+	}
+	heavy := make([]time.Duration, 10000)
+	for i := range heavy {
+		// Log-uniform from 1µs to ~16s: exercises many octaves.
+		heavy[i] = time.Duration(math.Exp(r.Float64()*16.6)) * time.Microsecond
+	}
+	spike := make([]time.Duration, 5000)
+	for i := range spike {
+		spike[i] = 750 * time.Microsecond // single-bucket degenerate case
+	}
+	checkQuantiles(t, "uniform", uniform)
+	checkQuantiles(t, "log-uniform", heavy)
+	checkQuantiles(t, "constant", spike)
+}
+
+// TestHistogramExactStats: count, min, max, and mean are exact (they
+// bypass the buckets entirely).
+func TestHistogramExactStats(t *testing.T) {
+	var h Histogram
+	vals := []time.Duration{3 * time.Millisecond, 5 * time.Microsecond, 2 * time.Second, 42 * time.Millisecond}
+	var sum time.Duration
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 5*time.Microsecond || h.Max() != 2*time.Second {
+		t.Fatalf("min %v max %v", h.Min(), h.Max())
+	}
+	wantMean := time.Duration(int64(sum) / 4 / histUnit * histUnit) // µs-truncated
+	if got := h.Mean(); got != wantMean {
+		t.Fatalf("mean %v, want %v", got, wantMean)
+	}
+}
+
+// TestHistogramMerge: merging shards must agree with recording the
+// union directly, bucket by bucket.
+func TestHistogramMerge(t *testing.T) {
+	r := xrand.New(777)
+	var a, b, whole Histogram
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(r.IntRange(1, 10_000_000)) * time.Microsecond
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		whole.Record(v)
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged stats diverge: count %d/%d min %v/%v max %v/%v",
+			a.Count(), whole.Count(), a.Min(), whole.Min(), a.Max(), whole.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Quantile(q) != whole.Quantile(q) {
+			t.Fatalf("q=%v: merged %v vs direct %v", q, a.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramEdges: zero/negative clamp, out-of-range clamp, empty
+// histogram.
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero-valued")
+	}
+	h.Record(-5 * time.Second) // clamps to 0
+	h.Record(0)
+	h.Record(time.Hour) // beyond the top octave: clamps, max stays exact
+	if h.Count() != 3 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Min() != 0 {
+		t.Fatalf("min %v", h.Min())
+	}
+	if h.Max() != time.Hour {
+		t.Fatalf("max %v", h.Max())
+	}
+	if q := h.Quantile(1); q != time.Hour {
+		t.Fatalf("q=1 gave %v, want the exact max", q)
+	}
+}
+
+// TestHistogramRecordDoesNotAllocate pins the no-allocation hot-path
+// property the Runner's measurement honesty depends on.
+func TestHistogramRecordDoesNotAllocate(t *testing.T) {
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(3 * time.Millisecond)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call", allocs)
+	}
+}

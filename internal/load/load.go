@@ -1,0 +1,58 @@
+// Package load is an open-loop workload generator and latency-SLO load
+// harness for the iokserve HTTP service.
+//
+// Open-loop means request *arrival times* are drawn from a configured
+// stochastic process (constant-rate, Poisson, or bursty multi-period
+// Gamma) and honoured regardless of how fast the server answers: a slow
+// server does not slow the generator down, it grows a queue, and the
+// queueing delay lands in the recorded latency (measured from the
+// scheduled arrival, not from the moment a worker got around to sending).
+// This is the methodology that makes tail latencies honest — a closed
+// loop (send, wait, send) silently backs off exactly when the server is
+// in trouble, a bias known as coordinated omission.
+//
+// The pipeline is: Spec -> BuildSchedule (deterministic in Spec.Seed;
+// trace bodies synthesized by internal/iogen with per-client seeds) ->
+// Runner.Run (worker pool, bounded log-linear histograms, no per-request
+// allocation on the record path) -> Report (JSON + human form) ->
+// SLO gates (parsed assertions over the report that set the exit code).
+// Recorded corpus directories can be replayed instead of synthesized
+// (replay.go), at original or scaled speed.
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Duration is a time.Duration that marshals to/from a human-readable
+// string ("250ms", "2s") in JSON spec files and reports.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a number of
+// nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("load: bad duration %q: %v", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("load: bad duration %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+func (d Duration) String() string { return time.Duration(d).String() }

@@ -1,0 +1,160 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"iokast/internal/iogen"
+	"iokast/internal/xrand"
+)
+
+// Replay mode: instead of synthesizing a workload, iokload can re-send a
+// recorded corpus directory — every "*.trace" file in canonical text
+// format, in lexical filename order (iogen.WriteCorpusDir emits exactly
+// this layout, and so does any capture pipeline that names files in
+// arrival order).
+//
+// If the directory carries a "timeline.json" file, each trace replays at
+// its recorded offset (scaled by the speed factor); without one, the
+// replay is paced by the configured arrival process like a synthetic
+// run, which is the right default for corpora that recorded no timing.
+
+// TimelineFile is the optional per-directory timing sidecar.
+const TimelineFile = "timeline.json"
+
+// timeline is the TimelineFile schema.
+type timeline struct {
+	Entries []timelineEntry `json:"entries"`
+}
+
+type timelineEntry struct {
+	File     string  `json:"file"`
+	OffsetMs float64 `json:"offset_ms"`
+}
+
+// Recorded is one replayable trace.
+type Recorded struct {
+	Name   string
+	Body   string
+	Offset time.Duration // < 0 when the corpus has no timeline
+}
+
+// LoadCorpusDir reads a replay corpus. The returned entries are in
+// filename order; Offset is -1 throughout when no timeline.json exists.
+func LoadCorpusDir(dir string) ([]Recorded, error) {
+	names, err := filepath.Glob(filepath.Join(dir, "*.trace"))
+	if err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no *.trace files in %s", dir)
+	}
+	sort.Strings(names)
+
+	offsets := map[string]time.Duration{}
+	hasTimeline := false
+	if b, err := os.ReadFile(filepath.Join(dir, TimelineFile)); err == nil {
+		var tl timeline
+		if err := json.Unmarshal(b, &tl); err != nil {
+			return nil, fmt.Errorf("load: parse %s: %v", TimelineFile, err)
+		}
+		for _, e := range tl.Entries {
+			if e.OffsetMs < 0 {
+				return nil, fmt.Errorf("load: %s: negative offset for %q", TimelineFile, e.File)
+			}
+			offsets[e.File] = time.Duration(e.OffsetMs * float64(time.Millisecond))
+		}
+		hasTimeline = true
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	recs := make([]Recorded, 0, len(names))
+	for _, name := range names {
+		body, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(name)
+		rec := Recorded{Name: base, Body: string(body), Offset: -1}
+		if hasTimeline {
+			off, ok := offsets[base]
+			if !ok {
+				return nil, fmt.Errorf("load: %s lists no offset for %q", TimelineFile, base)
+			}
+			rec.Offset = off
+		}
+		recs = append(recs, rec)
+	}
+	return recs, nil
+}
+
+// BuildReplaySchedule turns a recorded corpus into an ingest schedule.
+// With a timeline, each trace is due at its recorded offset divided by
+// speed (speed 2 = twice as fast as recorded, 0.5 = half). Without one,
+// requests are paced by the arrival process at rate requests/second
+// (speed scales that rate), the same machinery a synthetic run uses.
+// Replay always targets POST /traces: the point of the mode is to push a
+// real corpus through ingest at a controlled tempo.
+func BuildReplaySchedule(recs []Recorded, speed, rate float64, seed uint64, arrival ArrivalSpec) ([]Request, error) {
+	if !(speed > 0) {
+		return nil, fmt.Errorf("load: replay speed must be > 0, got %v", speed)
+	}
+	timed := len(recs) > 0 && recs[0].Offset >= 0
+	var arr Arrival
+	if !timed {
+		var err error
+		// Stream "client -2": shared with nothing a synthetic schedule
+		// ever draws (clients use >= 0, prefill uses -1).
+		arr, err = NewArrival(arrival, rate*speed, xrand.New(iogen.ClientSeed(seed, -2)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	reqs := make([]Request, 0, len(recs))
+	var t time.Duration
+	for _, rec := range recs {
+		if timed {
+			if rec.Offset < 0 {
+				return nil, fmt.Errorf("load: mixed timed/untimed corpus at %q", rec.Name)
+			}
+			t = time.Duration(float64(rec.Offset) / speed)
+		} else {
+			t += arr.Next()
+		}
+		reqs = append(reqs, Request{
+			Due:    t,
+			Op:     OpIngest,
+			Method: "POST",
+			Path:   "/traces",
+			Body:   rec.Body,
+		})
+	}
+	sort.SliceStable(reqs, func(i, j int) bool { return reqs[i].Due < reqs[j].Due })
+	return reqs, nil
+}
+
+// WriteTimeline writes the timing sidecar for a corpus directory; speeds
+// up building replayable fixtures in tests and capture tooling.
+func WriteTimeline(dir string, files []string, offsets []time.Duration) error {
+	if len(files) != len(offsets) {
+		return fmt.Errorf("load: %d files but %d offsets", len(files), len(offsets))
+	}
+	tl := timeline{Entries: make([]timelineEntry, len(files))}
+	for i := range files {
+		if strings.ContainsRune(files[i], os.PathSeparator) {
+			return fmt.Errorf("load: timeline entry %q must be a bare filename", files[i])
+		}
+		tl.Entries[i] = timelineEntry{File: files[i], OffsetMs: float64(offsets[i]) / float64(time.Millisecond)}
+	}
+	b, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, TimelineFile), b, 0o644)
+}

@@ -1,0 +1,154 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// EndpointReport is the published per-endpoint summary. Latencies are
+// milliseconds (floats survive JSON round-trips exactly, and ms is the
+// unit SLOs are written in).
+type EndpointReport struct {
+	Requests   int64   `json:"requests"`
+	Throughput float64 `json:"throughput_rps"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MeanMs float64 `json:"mean_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	// Statuses counts exact HTTP status codes (JSON object keys must be
+	// strings, so "201": 1200).
+	Statuses map[string]int64 `json:"statuses"`
+	// TransportErrors are requests that never got an HTTP status
+	// (connection refused, timeout, ...).
+	TransportErrors int64 `json:"transport_errors"`
+	// Errors is the error budget numerator: 5xx plus transport errors.
+	// 4xx is excluded deliberately — the mix generates some expected
+	// 404s (idempotent re-deletes), and a client-side mistake is not a
+	// server failure.
+	Errors    int64   `json:"errors"`
+	ErrorRate float64 `json:"error_rate"`
+}
+
+// Report is the full run report: the spec that produced it, per-endpoint
+// summaries, a total row, and the SLO gate outcomes. It is the JSON
+// artifact CI uploads and the input SLO gates are evaluated against.
+type Report struct {
+	Target      string                    `json:"target"`
+	Spec        *Spec                     `json:"spec,omitempty"`
+	WallSeconds float64                   `json:"wall_seconds"`
+	Requests    int64                     `json:"requests"`
+	Endpoints   map[string]EndpointReport `json:"endpoints"`
+	Total       EndpointReport            `json:"total"`
+	SLO         []GateResult              `json:"slo,omitempty"`
+}
+
+// ms converts with full float precision; quantiles are already bucket
+// midpoints, so no further rounding is added here.
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func summarize(st *endpointStats, wall time.Duration) EndpointReport {
+	h := &st.hist
+	r := EndpointReport{
+		Requests: h.Count(),
+		P50Ms:    ms(h.Quantile(0.50)),
+		P95Ms:    ms(h.Quantile(0.95)),
+		P99Ms:    ms(h.Quantile(0.99)),
+		P999Ms:   ms(h.Quantile(0.999)),
+		MeanMs:   ms(h.Mean()),
+		MaxMs:    ms(h.Max()),
+		Statuses: map[string]int64{},
+
+		TransportErrors: st.transport,
+	}
+	if wall > 0 {
+		r.Throughput = float64(h.Count()) / wall.Seconds()
+	}
+	for code, n := range st.statuses {
+		if n == 0 {
+			continue
+		}
+		r.Statuses[fmt.Sprint(code)] = n
+		if code >= 500 {
+			r.Errors += n
+		}
+	}
+	r.Errors += st.transport
+	if r.Requests > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
+	}
+	return r
+}
+
+// BuildReport summarizes a run result.
+func BuildReport(target string, spec *Spec, res *Result) *Report {
+	rep := &Report{
+		Target:      target,
+		Spec:        spec,
+		WallSeconds: res.Wall.Seconds(),
+		Requests:    res.Requests,
+		Endpoints:   map[string]EndpointReport{},
+	}
+	total := &endpointStats{}
+	for ep, st := range res.PerEndpoint {
+		rep.Endpoints[ep] = summarize(st, res.Wall)
+		total.hist.Merge(&st.hist)
+		for c, n := range st.statuses {
+			total.statuses[c] += n
+		}
+		total.transport += st.transport
+	}
+	rep.Total = summarize(total, res.Wall)
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// DecodeReport reads a report back from its JSON form; the round-trip is
+// part of the published contract (CI artifacts are consumed by tooling).
+func DecodeReport(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("load: decode report: %v", err)
+	}
+	return &r, nil
+}
+
+// WriteHuman renders the report for a terminal.
+func (r *Report) WriteHuman(w io.Writer) {
+	fmt.Fprintf(w, "target %s: %d requests in %.2fs (%.1f req/s)\n",
+		r.Target, r.Requests, r.WallSeconds, r.Total.Throughput)
+	eps := make([]string, 0, len(r.Endpoints))
+	for ep := range r.Endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	fmt.Fprintf(w, "%-22s %8s %9s %9s %9s %9s %9s %7s\n",
+		"endpoint", "reqs", "p50", "p95", "p99", "p99.9", "max", "err")
+	row := func(name string, e EndpointReport) {
+		fmt.Fprintf(w, "%-22s %8d %8.2fms %8.2fms %8.2fms %8.2fms %8.2fms %6.2f%%\n",
+			name, e.Requests, e.P50Ms, e.P95Ms, e.P99Ms, e.P999Ms, e.MaxMs, 100*e.ErrorRate)
+	}
+	for _, ep := range eps {
+		row(ep, r.Endpoints[ep])
+	}
+	row("TOTAL", r.Total)
+	for _, g := range r.SLO {
+		status := "PASS"
+		if !g.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "slo %-38s %s  %s\n", g.Gate, status, g.Detail)
+	}
+}

@@ -1,0 +1,235 @@
+package load
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// SLO grammar (the --slo flag):
+//
+//	slo     := group (';' group)*
+//	group   := [selector ':'] assert (',' assert)*
+//	assert  := metric cmp bound
+//	metric  := 'p50' | 'p95' | 'p99' | 'p999' | 'p99.9' | 'err'
+//	cmp     := '<' | '<=' | '='
+//	bound   := duration (for pXX, e.g. '5ms') | percent (for err,
+//	           e.g. '0.1%' or '0')
+//
+// The selector picks endpoints: "*" (or no selector) matches every
+// endpoint, a bare path like "/classify" matches every method on that
+// path, and a full label like "GET /similar" matches exactly one. A
+// gate passes only if every matched endpoint satisfies it; a gate that
+// matches no traffic FAILS — a typo'd selector must not green a CI job.
+//
+// Examples:
+//
+//	--slo '/classify:p99<5ms,err<0.1%'
+//	--slo '*:p99<50ms,err=0'
+//	--slo 'GET /similar:p95<2ms;/traces:p99<10ms'
+
+// Gate is one parsed SLO assertion applied to a selector.
+type Gate struct {
+	Selector string  `json:"selector"` // "*", "/path", or "METHOD /path"
+	Metric   string  `json:"metric"`   // p50, p95, p99, p999, err
+	Cmp      string  `json:"cmp"`      // "<", "<=", "="
+	Bound    float64 `json:"bound"`    // ms for pXX, fraction for err
+}
+
+// String renders the gate back in flag form.
+func (g Gate) String() string {
+	if g.Metric == "err" {
+		return fmt.Sprintf("%s:err%s%g%%", g.Selector, g.Cmp, g.Bound*100)
+	}
+	return fmt.Sprintf("%s:%s%s%gms", g.Selector, g.Metric, g.Cmp, g.Bound)
+}
+
+// GateResult is one gate's outcome, per the report it was evaluated on.
+type GateResult struct {
+	Gate   string  `json:"gate"`
+	Pass   bool    `json:"pass"`
+	Detail string  `json:"detail"`
+	Worst  float64 `json:"worst"` // the worst matched value, gate units
+}
+
+// ParseSLO parses one --slo flag value into gates.
+func ParseSLO(s string) ([]Gate, error) {
+	var gates []Gate
+	for _, group := range splitNonEmpty(s, ';') {
+		group = strings.TrimSpace(group)
+		selector := "*"
+		asserts := group
+		// A selector is present when the group has a ':' before the
+		// first assertion. Metrics never contain '/', selectors always
+		// start with '/' or '*' or a method, so split on the first ':'.
+		if i := strings.Index(group, ":"); i >= 0 {
+			selector, asserts = strings.TrimSpace(group[:i]), group[i+1:]
+			if selector == "" {
+				return nil, fmt.Errorf("load: empty SLO selector in %q", group)
+			}
+		}
+		any := false
+		for _, a := range splitNonEmpty(asserts, ',') {
+			g, err := parseAssert(selector, strings.TrimSpace(a))
+			if err != nil {
+				return nil, err
+			}
+			gates = append(gates, g)
+			any = true
+		}
+		if !any {
+			return nil, fmt.Errorf("load: SLO group %q has no assertions", group)
+		}
+	}
+	if len(gates) == 0 {
+		return nil, fmt.Errorf("load: empty SLO expression %q", s)
+	}
+	return gates, nil
+}
+
+var sloMetrics = map[string]string{
+	"p50": "p50", "p95": "p95", "p99": "p99", "p999": "p999",
+	"p99.9": "p999", "err": "err",
+}
+
+func parseAssert(selector, a string) (Gate, error) {
+	cut := strings.IndexAny(a, "<=")
+	if cut < 0 {
+		return Gate{}, fmt.Errorf("load: SLO assertion %q has no comparator (want e.g. p99<5ms)", a)
+	}
+	metric, ok := sloMetrics[strings.TrimSpace(a[:cut])]
+	if !ok {
+		return Gate{}, fmt.Errorf("load: unknown SLO metric %q (want p50/p95/p99/p999/err)", strings.TrimSpace(a[:cut]))
+	}
+	rest := a[cut:]
+	cmp := "<"
+	switch {
+	case strings.HasPrefix(rest, "<="):
+		cmp, rest = "<=", rest[2:]
+	case strings.HasPrefix(rest, "<"):
+		cmp, rest = "<", rest[1:]
+	case strings.HasPrefix(rest, "="):
+		cmp, rest = "=", rest[1:]
+	}
+	rest = strings.TrimSpace(rest)
+	g := Gate{Selector: selector, Metric: metric, Cmp: cmp}
+	if metric == "err" {
+		frac, err := parsePercent(rest)
+		if err != nil {
+			return Gate{}, fmt.Errorf("load: SLO %q: %v", a, err)
+		}
+		g.Bound = frac
+		return g, nil
+	}
+	if cmp == "=" {
+		return Gate{}, fmt.Errorf("load: SLO %q: '=' only applies to err (latency bounds use '<')", a)
+	}
+	d, err := time.ParseDuration(rest)
+	if err != nil || d < 0 {
+		return Gate{}, fmt.Errorf("load: SLO %q: bad latency bound %q", a, rest)
+	}
+	g.Bound = ms(d)
+	return g, nil
+}
+
+// parsePercent parses "0.1%" (percent) or a bare "0"/"0.001" (fraction)
+// into a fraction in [0, 1].
+func parsePercent(s string) (float64, error) {
+	pct := strings.HasSuffix(s, "%")
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad error bound %q", s)
+	}
+	if pct {
+		v /= 100
+	}
+	if v > 1 {
+		return 0, fmt.Errorf("error bound %q exceeds 100%%", s)
+	}
+	return v, nil
+}
+
+// matches reports whether the gate's selector covers the endpoint label
+// ("METHOD /path").
+func (g Gate) matches(endpoint string) bool {
+	if g.Selector == "*" || g.Selector == endpoint {
+		return true
+	}
+	// Bare-path selector: match the path part of the label, so
+	// "/similar" covers both GET and POST forms; "/traces" does not
+	// cover "/traces/batch" or "/traces/{id}" — those are different
+	// endpoints with different costs.
+	if i := strings.IndexByte(endpoint, ' '); i >= 0 {
+		return g.Selector == endpoint[i+1:]
+	}
+	return false
+}
+
+func (g Gate) value(e EndpointReport) float64 {
+	switch g.Metric {
+	case "p50":
+		return e.P50Ms
+	case "p95":
+		return e.P95Ms
+	case "p99":
+		return e.P99Ms
+	case "p999":
+		return e.P999Ms
+	default: // "err"
+		return e.ErrorRate
+	}
+}
+
+func (g Gate) holds(v float64) bool {
+	switch g.Cmp {
+	case "<":
+		return v < g.Bound
+	case "<=":
+		return v <= g.Bound
+	default: // "="
+		return v == g.Bound
+	}
+}
+
+// Evaluate applies every gate to the report and records the outcomes in
+// report.SLO. It returns true only if all gates pass.
+func Evaluate(gates []Gate, report *Report) bool {
+	allPass := true
+	report.SLO = report.SLO[:0]
+	for _, g := range gates {
+		res := GateResult{Gate: g.String()}
+		matched := 0
+		pass := true
+		worst := ""
+		for ep, e := range report.Endpoints {
+			if !g.matches(ep) || e.Requests == 0 {
+				continue
+			}
+			matched++
+			v := g.value(e)
+			if matched == 1 || v > res.Worst {
+				res.Worst, worst = v, ep
+			}
+			if !g.holds(v) {
+				pass = false
+			}
+		}
+		switch {
+		case matched == 0:
+			res.Pass = false
+			res.Detail = "no matching endpoint traffic"
+		case g.Metric == "err":
+			res.Pass = pass
+			res.Detail = fmt.Sprintf("worst %s err=%.4g%% over %d endpoint(s)", worst, 100*res.Worst, matched)
+		default:
+			res.Pass = pass
+			res.Detail = fmt.Sprintf("worst %s %s=%.3gms over %d endpoint(s)", worst, g.Metric, res.Worst, matched)
+		}
+		if !res.Pass {
+			allPass = false
+		}
+		report.SLO = append(report.SLO, res)
+	}
+	return allPass
+}

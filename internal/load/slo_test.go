@@ -1,0 +1,144 @@
+package load
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseSLO is the table-driven grammar pin: every documented form
+// parses to the expected gates, and malformed specs are rejected with a
+// diagnostic, never silently dropped or defaulted.
+func TestParseSLO(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []Gate
+	}{
+		{"/classify:p99<5ms,err<0.1%", []Gate{
+			{Selector: "/classify", Metric: "p99", Cmp: "<", Bound: 5},
+			{Selector: "/classify", Metric: "err", Cmp: "<", Bound: 0.001},
+		}},
+		{"*:p99<50ms,err=0", []Gate{
+			{Selector: "*", Metric: "p99", Cmp: "<", Bound: 50},
+			{Selector: "*", Metric: "err", Cmp: "=", Bound: 0},
+		}},
+		{"p95<250us", []Gate{ // no selector = "*"
+			{Selector: "*", Metric: "p95", Cmp: "<", Bound: 0.25},
+		}},
+		{"GET /similar:p95<2ms;/traces:p99<=10ms", []Gate{
+			{Selector: "GET /similar", Metric: "p95", Cmp: "<", Bound: 2},
+			{Selector: "/traces", Metric: "p99", Cmp: "<=", Bound: 10},
+		}},
+		{"p99.9<1s", []Gate{
+			{Selector: "*", Metric: "p999", Cmp: "<", Bound: 1000},
+		}},
+		{"err<=5%", []Gate{
+			{Selector: "*", Metric: "err", Cmp: "<=", Bound: 0.05},
+		}},
+		{"p50<1.5ms", []Gate{
+			{Selector: "*", Metric: "p50", Cmp: "<", Bound: 1.5},
+		}},
+	} {
+		got, err := ParseSLO(tc.in)
+		if err != nil {
+			t.Errorf("ParseSLO(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseSLO(%q) = %d gates, want %d: %+v", tc.in, len(got), len(tc.want), got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("ParseSLO(%q)[%d] = %+v, want %+v", tc.in, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+func TestParseSLOMalformed(t *testing.T) {
+	for _, tc := range []struct {
+		in, wantErr string
+	}{
+		{"", "empty SLO"},
+		{";;", "empty SLO"},
+		{"/classify:", "no assertions"},
+		{"/classify:p99", "no comparator"},
+		{"/classify:p42<5ms", "unknown SLO metric"},
+		{"/classify:p99<fast", "bad latency bound"},
+		{"/classify:p99<-5ms", "bad latency bound"},
+		{"/classify:p99=5ms", "'=' only applies to err"},
+		{"/classify:err<bogus%", "bad error bound"},
+		{"/classify:err<-1%", "bad error bound"},
+		{"/classify:err<150%", "exceeds 100%"},
+		{":p99<5ms", "empty SLO selector"},
+	} {
+		_, err := ParseSLO(tc.in)
+		if err == nil {
+			t.Errorf("ParseSLO(%q): accepted", tc.in)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("ParseSLO(%q) error %q does not mention %q", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
+// reportFixture builds a report with two endpoints at known latencies
+// and error rates for evaluation tests.
+func reportFixture() *Report {
+	return &Report{
+		Endpoints: map[string]EndpointReport{
+			"POST /classify": {Requests: 1000, P50Ms: 1, P95Ms: 3, P99Ms: 4, P999Ms: 8, ErrorRate: 0},
+			"GET /similar":   {Requests: 2000, P50Ms: 0.5, P95Ms: 1, P99Ms: 2, P999Ms: 3, ErrorRate: 0.002},
+			"POST /similar":  {Requests: 500, P50Ms: 2, P95Ms: 6, P99Ms: 9, P999Ms: 12, ErrorRate: 0},
+		},
+	}
+}
+
+func TestEvaluateGates(t *testing.T) {
+	for _, tc := range []struct {
+		slo  string
+		pass bool
+	}{
+		{"/classify:p99<5ms", true},
+		{"/classify:p99<4ms", false}, // strict: 4 < 4 fails
+		{"/classify:p99<=4ms", true},
+		{"/classify:err=0", true},
+		{"*:p99<10ms", true},
+		{"*:p99<9ms", false},        // POST /similar at exactly 9
+		{"*:err=0", false},          // GET /similar has errors
+		{"*:err<0.5%", true},        // 0.002 < 0.005
+		{"/similar:p95<7ms", true},  // covers GET and POST forms
+		{"/similar:p95<5ms", false}, // POST /similar p95=6
+		{"GET /similar:p95<2ms", true},
+		{"/nope:p99<5ms", false}, // no matching traffic must fail
+	} {
+		gates, err := ParseSLO(tc.slo)
+		if err != nil {
+			t.Fatalf("ParseSLO(%q): %v", tc.slo, err)
+		}
+		rep := reportFixture()
+		if got := Evaluate(gates, rep); got != tc.pass {
+			t.Errorf("Evaluate(%q) = %v, want %v (results %+v)", tc.slo, got, tc.pass, rep.SLO)
+		}
+		if len(rep.SLO) != len(gates) {
+			t.Errorf("Evaluate(%q): %d results for %d gates", tc.slo, len(rep.SLO), len(gates))
+		}
+		for _, g := range rep.SLO {
+			if g.Detail == "" {
+				t.Errorf("Evaluate(%q): gate %q has no detail", tc.slo, g.Gate)
+			}
+		}
+	}
+}
+
+// TestEvaluateSkipsIdleEndpoints: an endpoint with zero requests (the
+// mix didn't include it) neither passes nor fails a wildcard gate.
+func TestEvaluateSkipsIdleEndpoints(t *testing.T) {
+	rep := reportFixture()
+	rep.Endpoints["DELETE /traces/{id}"] = EndpointReport{Requests: 0, P99Ms: 1e9}
+	gates, _ := ParseSLO("*:p99<10ms")
+	if !Evaluate(gates, rep) {
+		t.Fatalf("idle endpoint failed the run: %+v", rep.SLO)
+	}
+}

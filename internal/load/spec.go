@@ -1,0 +1,381 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"iokast/internal/iogen"
+	"iokast/internal/xrand"
+)
+
+// Op identifies one request kind in a workload mix.
+type Op string
+
+// The request kinds a mix may weight.
+const (
+	OpIngest       Op = "ingest"        // POST /traces
+	OpBatch        Op = "batch"         // POST /traces/batch
+	OpSimilarID    Op = "similar_id"    // GET /similar?id=&k=
+	OpSimilarTrace Op = "similar_trace" // POST /similar (query-by-trace)
+	OpClassify     Op = "classify"      // POST /classify
+	OpDelete       Op = "delete"        // DELETE /traces/{id}
+)
+
+// Ops lists every known op in a fixed order.
+var Ops = []Op{OpIngest, OpBatch, OpSimilarID, OpSimilarTrace, OpClassify, OpDelete}
+
+// Endpoint returns the metrics/SLO label for the op: the HTTP method
+// plus the URL path pattern it hits.
+func (o Op) Endpoint() string {
+	switch o {
+	case OpIngest:
+		return "POST /traces"
+	case OpBatch:
+		return "POST /traces/batch"
+	case OpSimilarID:
+		return "GET /similar"
+	case OpSimilarTrace:
+		return "POST /similar"
+	case OpClassify:
+		return "POST /classify"
+	case OpDelete:
+		return "DELETE /traces/{id}"
+	}
+	return string(o)
+}
+
+// MixEntry weights one op in the workload mix.
+type MixEntry struct {
+	Op     Op      `json:"op"`
+	Weight float64 `json:"weight"`
+}
+
+// Spec describes one open-loop load run. It is JSON-serializable (the
+// --spec file format) and everything downstream — schedules, bodies,
+// target ids — is a pure function of it, Seed included.
+type Spec struct {
+	// Clients is the number of independent open-loop clients; each has
+	// its own arrival process and body stream seeded from Seed.
+	Clients int `json:"clients"`
+	// Duration is how much schedule to generate per client.
+	Duration Duration `json:"duration"`
+	// Rate is the per-client target rate in requests/second; aggregate
+	// offered load is Clients*Rate.
+	Rate float64 `json:"rate"`
+	// Arrival selects the inter-arrival process.
+	Arrival ArrivalSpec `json:"arrival"`
+	// Mix weights the request kinds. Weights need not sum to 1.
+	Mix []MixEntry `json:"mix"`
+	// Seed makes the whole run deterministic.
+	Seed uint64 `json:"seed"`
+	// Prefill is how many traces to ingest (and label with their
+	// generator category) before the timed run, giving the read ops a
+	// stable id range to target: queries hit [0, Prefill/2), deletes
+	// consume [Prefill/2, Prefill).
+	Prefill int `json:"prefill"`
+	// BatchSize is the traces per OpBatch request (default 4).
+	BatchSize int `json:"batch_size,omitempty"`
+	// K is the neighbour count for query ops (default 5).
+	K int `json:"k,omitempty"`
+	// Categories restricts body synthesis; empty means
+	// iogen.LoadCategories.
+	Categories []string `json:"categories,omitempty"`
+}
+
+// ReadSpec loads a JSON spec file and validates it.
+func ReadSpec(path string) (Spec, error) {
+	var s Spec
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(b, &s); err != nil {
+		return s, fmt.Errorf("load: parse spec %s: %v", path, err)
+	}
+	return s, s.Validate()
+}
+
+// Validate checks the spec and applies no defaults (see WithDefaults).
+func (s Spec) Validate() error {
+	if s.Clients < 1 {
+		return fmt.Errorf("load: clients must be >= 1, got %d", s.Clients)
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("load: duration must be > 0, got %v", s.Duration)
+	}
+	if err := s.Arrival.Validate(s.Rate); err != nil {
+		return err
+	}
+	if len(s.Mix) == 0 {
+		return fmt.Errorf("load: empty mix")
+	}
+	total := 0.0
+	needIDs := false
+	for i, m := range s.Mix {
+		if !(m.Weight >= 0) {
+			return fmt.Errorf("load: mix[%d] (%s) weight must be >= 0, got %v", i, m.Op, m.Weight)
+		}
+		known := false
+		for _, op := range Ops {
+			if m.Op == op {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("load: mix[%d]: unknown op %q", i, m.Op)
+		}
+		total += m.Weight
+		if m.Weight > 0 && (m.Op == OpSimilarID || m.Op == OpDelete) {
+			needIDs = true
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("load: mix weights sum to %v; at least one must be positive", total)
+	}
+	if needIDs && s.Prefill < 2 {
+		return fmt.Errorf("load: mix includes similar_id/delete but prefill is %d (need >= 2 to give them target ids)", s.Prefill)
+	}
+	if s.Prefill < 0 || s.BatchSize < 0 || s.K < 0 {
+		return fmt.Errorf("load: prefill/batch_size/k must be >= 0")
+	}
+	for _, c := range s.Categories {
+		known := false
+		for _, cat := range iogen.ExtendedCategories {
+			if iogen.Category(c) == cat {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("load: unknown trace category %q", c)
+		}
+	}
+	return nil
+}
+
+// WithDefaults fills the optional knobs.
+func (s Spec) WithDefaults() Spec {
+	if s.BatchSize == 0 {
+		s.BatchSize = 4
+	}
+	if s.K == 0 {
+		s.K = 5
+	}
+	return s
+}
+
+func (s Spec) categories() []iogen.Category {
+	cats := make([]iogen.Category, len(s.Categories))
+	for i, c := range s.Categories {
+		cats[i] = iogen.Category(c)
+	}
+	return cats // empty slice falls back to iogen.LoadCategories downstream
+}
+
+// Request is one scheduled HTTP call: fire at Due (offset from the run
+// start), whatever has happened to earlier requests — that is the
+// open-loop contract.
+type Request struct {
+	Client int
+	Due    time.Duration
+	Op     Op
+	Method string
+	Path   string // path plus query, e.g. "/similar?id=3&k=5"
+	Body   string // empty for GET/DELETE
+}
+
+// BuildSchedule expands the spec into the full request schedule, sorted
+// by due time (ties broken by client then op, so the order itself is
+// deterministic). Each client draws from three private xrand streams —
+// arrival gaps, op selection, bodies — all derived from
+// iogen.ClientSeed(spec.Seed, client), so schedules are reproducible
+// and per-client stable under changes to the client count.
+func BuildSchedule(spec Spec) ([]Request, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.WithDefaults()
+
+	var reqs []Request
+	for c := 0; c < spec.Clients; c++ {
+		root := xrand.New(iogen.ClientSeed(spec.Seed, c))
+		arrivalRand, opRand := root.Split(), root.Split()
+		bodies := iogen.NewBodyGen(root.Split().Uint64(), spec.categories())
+		arrival, err := NewArrival(spec.Arrival, spec.Rate, arrivalRand)
+		if err != nil {
+			return nil, err
+		}
+		cl := clientSchedule{spec: spec, client: c, r: opRand, bodies: bodies}
+		for t := arrival.Next(); t <= time.Duration(spec.Duration); t += arrival.Next() {
+			reqs = append(reqs, cl.next(t))
+		}
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Due != reqs[j].Due {
+			return reqs[i].Due < reqs[j].Due
+		}
+		return reqs[i].Client < reqs[j].Client
+	})
+	return reqs, nil
+}
+
+// clientSchedule carries one client's request-construction state.
+type clientSchedule struct {
+	spec    Spec
+	client  int
+	r       *xrand.Rand
+	bodies  *iogen.BodyGen
+	deleted int // deletes issued so far: walks this client's delete slice
+}
+
+// next builds the request due at t.
+func (c *clientSchedule) next(t time.Duration) Request {
+	req := Request{Client: c.client, Due: t}
+	req.Op = c.pickOp()
+	switch req.Op {
+	case OpIngest:
+		body, _ := c.bodies.Next()
+		req.Method, req.Path, req.Body = "POST", "/traces", body
+	case OpBatch:
+		batch := struct {
+			Traces []string `json:"traces"`
+		}{Traces: make([]string, c.spec.BatchSize)}
+		for i := range batch.Traces {
+			batch.Traces[i], _ = c.bodies.Next()
+		}
+		b, _ := json.Marshal(batch)
+		req.Method, req.Path, req.Body = "POST", "/traces/batch", string(b)
+	case OpSimilarID:
+		req.Method = "GET"
+		req.Path = fmt.Sprintf("/similar?id=%d&k=%d", c.r.Intn(c.queryIDs()), c.spec.K)
+	case OpSimilarTrace:
+		body, _ := c.bodies.Next()
+		req.Method, req.Body = "POST", body
+		req.Path = fmt.Sprintf("/similar?k=%d", c.spec.K)
+	case OpClassify:
+		body, _ := c.bodies.Next()
+		req.Method, req.Body = "POST", body
+		req.Path = fmt.Sprintf("/classify?k=%d", c.spec.K)
+	case OpDelete:
+		req.Method = "DELETE"
+		req.Path = fmt.Sprintf("/traces/%d", c.nextDeleteID())
+	}
+	return req
+}
+
+func (c *clientSchedule) pickOp() Op {
+	total := 0.0
+	for _, m := range c.spec.Mix {
+		total += m.Weight
+	}
+	x := c.r.Float64() * total
+	for _, m := range c.spec.Mix {
+		if x -= m.Weight; x < 0 {
+			return m.Op
+		}
+	}
+	return c.spec.Mix[len(c.spec.Mix)-1].Op
+}
+
+// queryIDs is the id range similar_id targets: the lower half of the
+// prefill, which deletes never touch, so queries don't decay into 404s
+// as the run progresses.
+func (c *clientSchedule) queryIDs() int {
+	n := c.spec.Prefill / 2
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// nextDeleteID walks this client's round-robin slice of the delete pool
+// (the upper half of the prefill) without replacement. Once a client
+// exhausts its slice it wraps: the repeats answer 404, which the report
+// counts but the error budget (5xx + transport) ignores — an idempotent
+// re-delete is not a server failure.
+func (c *clientSchedule) nextDeleteID() int {
+	lo := c.spec.Prefill / 2
+	pool := c.spec.Prefill - lo
+	// The i-th delete of client c targets lo + (c + i*Clients) mod pool.
+	id := lo + (c.client+c.deleted*c.spec.Clients)%pool
+	c.deleted++
+	return id
+}
+
+// PrefillBodies synthesizes the prefill corpus: Prefill traces with
+// their ground-truth category labels, deterministic in Seed (stream
+// "client -1", so it does not overlap any client's bodies).
+func PrefillBodies(spec Spec) (bodies []string, labels []string) {
+	g := iogen.NewBodyGen(iogen.ClientSeed(spec.Seed, -1), spec.categories())
+	for i := 0; i < spec.Prefill; i++ {
+		b, cat := g.Next()
+		bodies = append(bodies, b)
+		labels = append(labels, string(cat))
+	}
+	return bodies, labels
+}
+
+// ParseMix parses the -mix flag form "op=weight,op=weight".
+func ParseMix(s string) ([]MixEntry, error) {
+	var mix []MixEntry
+	for _, part := range splitNonEmpty(s, ',') {
+		op, ws, ok := strings.Cut(part, "=")
+		if !ok || op == "" {
+			return nil, fmt.Errorf("load: bad mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.ParseFloat(ws, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: bad mix weight in %q: %v", part, err)
+		}
+		mix = append(mix, MixEntry{Op: Op(op), Weight: w})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("load: empty mix %q", s)
+	}
+	return mix, nil
+}
+
+// ParsePeriods parses the -periods flag form "dur*mult,dur*mult", e.g.
+// "200ms*4,800ms*0.25".
+func ParsePeriods(s string) ([]Period, error) {
+	var ps []Period
+	for _, part := range splitNonEmpty(s, ',') {
+		durStr, ms, ok := strings.Cut(part, "*")
+		if !ok {
+			return nil, fmt.Errorf("load: bad period %q (want dur*mult, e.g. 200ms*4)", part)
+		}
+		d, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("load: bad period duration %q: %v", durStr, err)
+		}
+		mult, err := strconv.ParseFloat(ms, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: bad period multiplier in %q: %v", part, err)
+		}
+		ps = append(ps, Period{Dur: Duration(d), RateMult: mult})
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("load: empty periods %q", s)
+	}
+	return ps, nil
+}
+
+func splitNonEmpty(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == sep {
+			if i > start {
+				out = append(out, s[start:i])
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

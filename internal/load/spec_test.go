@@ -1,0 +1,239 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mixedSpec is the reference mixed profile used by schedule tests.
+func mixedSpec(seed uint64) Spec {
+	return Spec{
+		Clients:  3,
+		Duration: Duration(2 * time.Second),
+		Rate:     40,
+		Arrival:  ArrivalSpec{Process: "poisson"},
+		Mix: []MixEntry{
+			{Op: OpIngest, Weight: 2},
+			{Op: OpBatch, Weight: 0.5},
+			{Op: OpSimilarID, Weight: 3},
+			{Op: OpSimilarTrace, Weight: 2},
+			{Op: OpClassify, Weight: 2},
+			{Op: OpDelete, Weight: 0.5},
+		},
+		Seed:    seed,
+		Prefill: 16,
+	}
+}
+
+// TestBuildScheduleDeterministic is the acceptance-criteria pin: two
+// builds from the same spec are deeply identical — same due times, same
+// ops, same target ids, same synthesized bodies — and a different seed
+// diverges.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	s1, err := BuildSchedule(mixedSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := BuildSchedule(mixedSpec(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	s3, err := BuildSchedule(mixedSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(s1) == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+// TestBuildScheduleShape: the schedule respects the spec — sorted due
+// times within the duration, roughly the offered request count, every
+// op present, bodies parseable where expected, ids in their reserved
+// ranges.
+func TestBuildScheduleShape(t *testing.T) {
+	spec := mixedSpec(7)
+	sched, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offered := float64(spec.Clients) * spec.Rate * time.Duration(spec.Duration).Seconds()
+	if n := float64(len(sched)); n < offered/2 || n > offered*2 {
+		t.Fatalf("schedule has %v requests, offered load was ~%v", n, offered)
+	}
+	seen := map[Op]int{}
+	for i, r := range sched {
+		if i > 0 && r.Due < sched[i-1].Due {
+			t.Fatalf("schedule not sorted at %d: %v after %v", i, r.Due, sched[i-1].Due)
+		}
+		if r.Due <= 0 || r.Due > time.Duration(spec.Duration) {
+			t.Fatalf("request %d due %v outside (0, %v]", i, r.Due, spec.Duration)
+		}
+		if r.Client < 0 || r.Client >= spec.Clients {
+			t.Fatalf("request %d client %d", i, r.Client)
+		}
+		seen[r.Op]++
+		switch r.Op {
+		case OpSimilarID:
+			var id, k int
+			if n, err := fmt.Sscanf(r.Path, "/similar?id=%d&k=%d", &id, &k); n != 2 || err != nil {
+				t.Fatalf("bad similar_id path %q", r.Path)
+			}
+			if id < 0 || id >= spec.Prefill/2 {
+				t.Fatalf("similar_id target %d outside query range [0, %d)", id, spec.Prefill/2)
+			}
+		case OpDelete:
+			var id int
+			if n, err := fmt.Sscanf(r.Path, "/traces/%d", &id); n != 1 || err != nil {
+				t.Fatalf("bad delete path %q", r.Path)
+			}
+			if id < spec.Prefill/2 || id >= spec.Prefill {
+				t.Fatalf("delete target %d outside delete pool [%d, %d)", id, spec.Prefill/2, spec.Prefill)
+			}
+		case OpIngest, OpSimilarTrace, OpClassify:
+			if !strings.Contains(r.Body, "\nclose") {
+				t.Fatalf("%s body does not look like a trace: %.80q", r.Op, r.Body)
+			}
+		case OpBatch:
+			var batch struct {
+				Traces []string `json:"traces"`
+			}
+			if err := json.Unmarshal([]byte(r.Body), &batch); err != nil || len(batch.Traces) != 4 {
+				t.Fatalf("bad batch body (%v): %.80q", err, r.Body)
+			}
+		}
+	}
+	for _, op := range Ops {
+		if seen[op] == 0 {
+			t.Errorf("op %s never scheduled (%d total)", op, len(sched))
+		}
+	}
+}
+
+// TestSpecValidation rejects the malformed corners.
+func TestSpecValidation(t *testing.T) {
+	base := mixedSpec(1)
+	for name, mutate := range map[string]func(*Spec){
+		"no clients":      func(s *Spec) { s.Clients = 0 },
+		"no duration":     func(s *Spec) { s.Duration = 0 },
+		"no rate":         func(s *Spec) { s.Rate = 0 },
+		"empty mix":       func(s *Spec) { s.Mix = nil },
+		"unknown op":      func(s *Spec) { s.Mix = []MixEntry{{Op: "frobnicate", Weight: 1}} },
+		"negative weight": func(s *Spec) { s.Mix[0].Weight = -1 },
+		"all-zero weights": func(s *Spec) {
+			for i := range s.Mix {
+				s.Mix[i].Weight = 0
+			}
+		},
+		"ids need prefill": func(s *Spec) { s.Prefill = 0 },
+		"bad arrival":      func(s *Spec) { s.Arrival.Process = "lunar" },
+		"unknown category": func(s *Spec) { s.Categories = []string{"Z"} },
+		"negative batch":   func(s *Spec) { s.BatchSize = -1 },
+	} {
+		s := base
+		s.Mix = append([]MixEntry(nil), base.Mix...)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("base spec rejected: %v", err)
+	}
+}
+
+// TestSpecJSONRoundTrip: the --spec file format survives a round trip,
+// Duration strings included.
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := mixedSpec(99)
+	spec.Arrival = ArrivalSpec{Process: "gamma", Shape: 0.5, Periods: burstPeriods()}
+	b, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"2s"`) {
+		t.Fatalf("duration not human-readable in %s", b)
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, spec) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, spec)
+	}
+	sched1, err := BuildSchedule(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := BuildSchedule(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sched1, sched2) {
+		t.Fatal("schedule from round-tripped spec diverged")
+	}
+}
+
+// TestParseMixAndPeriods covers the flag-form parsers.
+func TestParseMixAndPeriods(t *testing.T) {
+	mix, err := ParseMix("ingest=2,similar_id=3,classify=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []MixEntry{{OpIngest, 2}, {OpSimilarID, 3}, {OpClassify, 0.5}}
+	if !reflect.DeepEqual(mix, want) {
+		t.Fatalf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "ingest", "=2", "ingest=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q): accepted", bad)
+		}
+	}
+	ps, err := ParsePeriods("200ms*4,800ms*0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ps, burstPeriods()) {
+		t.Fatalf("periods = %+v", ps)
+	}
+	for _, bad := range []string{"", "200ms", "xyz*2", "200ms*x"} {
+		if _, err := ParsePeriods(bad); err == nil {
+			t.Errorf("ParsePeriods(%q): accepted", bad)
+		}
+	}
+}
+
+// TestPrefillBodies: deterministic, labelled, and disjoint from client
+// body streams.
+func TestPrefillBodies(t *testing.T) {
+	spec := mixedSpec(5)
+	b1, l1 := PrefillBodies(spec)
+	b2, l2 := PrefillBodies(spec)
+	if !reflect.DeepEqual(b1, b2) || !reflect.DeepEqual(l1, l2) {
+		t.Fatal("prefill not deterministic")
+	}
+	if len(b1) != spec.Prefill || len(l1) != spec.Prefill {
+		t.Fatalf("prefill sizes %d/%d, want %d", len(b1), len(l1), spec.Prefill)
+	}
+	for i, l := range l1 {
+		if l == "" {
+			t.Fatalf("prefill trace %d unlabelled", i)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"net/http"
@@ -22,7 +22,7 @@ close fh=1
 `
 
 // seedLabeled ingests three traces and labels two of them.
-func seedLabeled(t *testing.T, s *server) {
+func seedLabeled(t *testing.T, s *Server) {
 	t.Helper()
 	for _, body := range []string{traceA, traceA, traceC} {
 		doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)
@@ -187,8 +187,8 @@ func TestServeClassifyShardedParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sharded := newShardedServer(sh, nil, core.Options{})
-	for _, s := range []*server{single, sharded} {
+	sharded := NewSharded(sh, nil, core.Options{})
+	for _, s := range []*Server{single, sharded} {
 		seedLabeled(t, s)
 	}
 	for _, q := range []string{traceA, traceC} {
@@ -217,7 +217,7 @@ func TestServeClassifyShardedParity(t *testing.T) {
 func TestServeLabelsDurable(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, classify.DefaultLabelsFile)
-	open := func() (*server, *store.Store) {
+	open := func() (*Server, *store.Store) {
 		reg, err := classify.OpenRegistry(path)
 		if err != nil {
 			t.Fatal(err)
@@ -228,7 +228,7 @@ func TestServeLabelsDurable(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return newServer(eng, st, reg, core.Options{}), st
+		return New(eng, st, reg, core.Options{}), st
 	}
 	s, _ := open()
 	seedLabeled(t, s)

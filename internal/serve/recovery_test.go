@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -15,7 +15,7 @@ import (
 
 // durableServer opens a server over dir with automatic snapshots disabled,
 // so tests control exactly what is in the WAL vs the snapshot.
-func durableServer(t *testing.T, dir string) (*server, *store.Store) {
+func durableServer(t *testing.T, dir string) (*Server, *store.Store) {
 	t.Helper()
 	eopt := engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2}
 	eng, st, err := store.Open(dir, func() *engine.Engine { return engine.New(eopt) },
@@ -23,7 +23,7 @@ func durableServer(t *testing.T, dir string) (*server, *store.Store) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newServer(eng, st, nil, core.Options{}), st
+	return New(eng, st, nil, core.Options{}), st
 }
 
 func batchBody(traces ...string) string {

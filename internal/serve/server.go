@@ -1,4 +1,9 @@
-package main
+// Package serve implements the iokserve HTTP surface as an importable
+// handler. cmd/iokserve wires flags, durability, and signal handling around
+// it; tests and the load harness (cmd/iokload) mount the same handler on
+// in-process listeners, so load tests exercise exactly the code the binary
+// ships.
+package serve
 
 import (
 	"encoding/json"
@@ -47,10 +52,10 @@ type corpus interface {
 	SketchConfig() (dim int, seed uint64, enabled bool)
 }
 
-// server routes HTTP requests onto one shared corpus. Concurrency control
+// Server routes HTTP requests onto one shared corpus. Concurrency control
 // lives entirely in the corpus and the label registry; handlers hold no
 // state of their own.
-type server struct {
+type Server struct {
 	c    corpus
 	eng  *engine.Engine // single-engine mode only: serves /gram
 	st   *store.Store   // single-engine mode: nil without --data-dir
@@ -60,22 +65,24 @@ type server struct {
 	mux  *http.ServeMux
 }
 
-func newServer(eng *engine.Engine, st *store.Store, reg *classify.Registry, copt core.Options) *server {
-	s := &server{c: eng, eng: eng, st: st, copt: copt}
+// New serves a single-engine corpus; st may be nil for an in-memory
+// server (no /debug/store).
+func New(eng *engine.Engine, st *store.Store, reg *classify.Registry, copt core.Options) *Server {
+	s := &Server{c: eng, eng: eng, st: st, copt: copt}
 	s.finish(reg)
 	return s
 }
 
-// newShardedServer serves a multi-shard corpus. /gram is unavailable in
+// NewSharded serves a multi-shard corpus. /gram is unavailable in
 // this mode: the corpus maintains no cross-shard Gram entries, which is
 // exactly what lets ingest scale with the shard count.
-func newShardedServer(sh *shard.Sharded, reg *classify.Registry, copt core.Options) *server {
-	s := &server{c: sh, sh: sh, copt: copt}
+func NewSharded(sh *shard.Sharded, reg *classify.Registry, copt core.Options) *Server {
+	s := &Server{c: sh, sh: sh, copt: copt}
 	s.finish(reg)
 	return s
 }
 
-func (s *server) finish(reg *classify.Registry) {
+func (s *Server) finish(reg *classify.Registry) {
 	if reg == nil {
 		reg = classify.NewRegistry()
 	}
@@ -83,7 +90,7 @@ func (s *server) finish(reg *classify.Registry) {
 	s.routes()
 }
 
-func (s *server) routes() {
+func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/traces/batch", s.handleTracesBatch)
@@ -97,11 +104,11 @@ func (s *server) routes() {
 	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // readTraceBody reads, parses, and converts one trace from the request
 // body, writing the HTTP error itself when it returns ok = false.
-func (s *server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.Trace, token.String, bool) {
+func (s *Server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.Trace, token.String, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBody+1))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "read body: %v", err)
@@ -119,7 +126,7 @@ func (s *server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.T
 	return tr, core.Convert(tr, s.copt), true
 }
 
-func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a trace in the canonical text format")
 		return
@@ -149,7 +156,7 @@ type batchRequest struct {
 	Traces []string `json:"traces"`
 }
 
-func (s *server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, `POST {"traces": ["<trace text>", ...]}`)
 		return
@@ -215,7 +222,7 @@ func (s *server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
@@ -244,7 +251,7 @@ func (s *server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
 }
 
-func (s *server) handleSimilar(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		s.handleSimilarByID(w, r)
@@ -279,7 +286,7 @@ func similarParams(r *http.Request) (k, rerank int, err error) {
 	return k, rerank, nil
 }
 
-func (s *server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad or missing id")
@@ -334,7 +341,7 @@ func nonNil(ns []engine.Neighbor) []engine.Neighbor {
 // handleSimilarByTrace is query-by-trace: the body is one trace in the
 // canonical text format, converted and compared like an ingested trace but
 // never added to the corpus, the WAL, or the id space.
-func (s *server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
 	tr, x, ok := s.readTraceBody(w, r)
 	if !ok {
 		return
@@ -373,7 +380,7 @@ const maxLabelsBody = 4 << 20
 // handleLabels serves the label registry: POST tags corpus ids with labels
 // (validated against the live corpus, persisted atomically when the
 // registry is durable), GET lists label -> member count.
-func (s *server) handleLabels(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		reg := s.cls.Registry()
@@ -446,7 +453,7 @@ func (s *server) handleLabels(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLabelByID serves DELETE /labels/{id}: remove one id's label.
-func (s *server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/labels/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
@@ -474,7 +481,7 @@ func (s *server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
 // k-NN vote against the labelled corpus — sketch shortlist plus exact
 // rerank where enabled, fanned out across shards in parallel in sharded
 // mode. The trace is never ingested.
-func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST /classify?k=&rerank= with a trace body")
 		return
@@ -505,7 +512,7 @@ func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET /gram")
 		return
@@ -541,7 +548,7 @@ func (s *server) handleGram(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"status": "ok", "traces": s.c.Len()}
 	status := http.StatusOK
 	if s.sh != nil {
@@ -569,7 +576,7 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, resp)
 }
 
-func (s *server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET /debug/store")
 		return

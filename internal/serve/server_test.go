@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -29,9 +29,9 @@ read fh=1 bytes=512
 close fh=1
 `
 
-func testServer() *server {
+func testServer() *Server {
 	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2})
-	return newServer(eng, nil, nil, core.Options{})
+	return New(eng, nil, nil, core.Options{})
 }
 
 func doJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int) map[string]any {
@@ -179,7 +179,7 @@ func TestServeSimilarByTrace(t *testing.T) {
 
 func TestServeApproxDisabled(t *testing.T) {
 	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2, SketchDim: -1})
-	s := newServer(eng, nil, nil, core.Options{})
+	s := New(eng, nil, nil, core.Options{})
 	doJSON(t, s, http.MethodPost, "/traces", traceA, http.StatusCreated)
 	// A request that can never succeed against this configuration is the
 	// client's mistake, not a server fault: 400, with a message that names

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -28,13 +28,13 @@ func shardedOptions(shards int) shard.Options {
 	}
 }
 
-func testShardedServer(t *testing.T, shards int) *server {
+func testShardedServer(t *testing.T, shards int) *Server {
 	t.Helper()
 	sh, err := shard.New(shardedOptions(shards))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newShardedServer(sh, nil, core.Options{})
+	return NewSharded(sh, nil, core.Options{})
 }
 
 // TestShardedServeLifecycle drives the full HTTP surface against a
@@ -158,7 +158,7 @@ func TestShardedServeRecovery(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := newShardedServer(sh, nil, core.Options{})
+	s := NewSharded(sh, nil, core.Options{})
 	doJSON(t, s, http.MethodPost, "/traces/batch",
 		fmt.Sprintf(`{"traces": [%q, %q, %q, %q]}`, traceA, traceA, traceB, traceB), http.StatusCreated)
 	doJSON(t, s, http.MethodDelete, "/traces/3", "", http.StatusOK)
@@ -170,7 +170,7 @@ func TestShardedServeRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer sh2.Close()
-	s2 := newShardedServer(sh2, nil, core.Options{})
+	s2 := NewSharded(sh2, nil, core.Options{})
 	resp := doJSON(t, s2, http.MethodGet, "/healthz", "", http.StatusOK)
 	if n := resp["traces"].(float64); n != 3 {
 		t.Fatalf("recovered traces = %v, want 3", n)

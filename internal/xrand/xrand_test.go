@@ -15,20 +15,60 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestKnownStream(t *testing.T) {
-	// Reference values for SplitMix64 with seed 1234567. Computed once from
-	// the canonical algorithm; pins the stream so dataset reproducibility
-	// cannot silently change.
-	r := New(1234567)
-	got := []uint64{r.Uint64(), r.Uint64(), r.Uint64()}
-	r2 := New(1234567)
-	want := []uint64{r2.Uint64(), r2.Uint64(), r2.Uint64()}
-	for i := range got {
-		if got[i] != want[i] {
-			t.Fatalf("stream not reproducible at %d", i)
+	// Golden values pinned from the canonical SplitMix64 algorithm. The
+	// seed-0 triple is the published reference vector (Steele/Lea/Flood
+	// appendix; also xoshiro.di.unimi.it's splitmix64.c), so this test
+	// catches both a broken refactor and a silent divergence from the
+	// canonical constants. Every seeded dataset and load schedule in the
+	// project is downstream of these values.
+	for seed, want := range map[uint64][]uint64{
+		0: {0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f},
+		1234567: {
+			0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77,
+			0x3fbef740e9177b3f, 0xe3b8346708cb5ecd,
+		},
+	} {
+		r := New(seed)
+		for i, w := range want {
+			if got := r.Uint64(); got != w {
+				t.Errorf("seed %d output[%d] = %#016x, want %#016x", seed, i, got, w)
+			}
 		}
 	}
-	if got[0] == got[1] || got[1] == got[2] {
-		t.Fatalf("suspicious repeated outputs: %v", got)
+}
+
+// TestUint64Uniformity: a chi-square test over 256 byte-buckets of the
+// high byte. With 100000 draws and 255 degrees of freedom the statistic
+// stays below ~330 for any healthy generator (p ~ 0.001); a biased or
+// broken mixer blows far past it.
+func TestUint64Uniformity(t *testing.T) {
+	const n = 100000
+	const buckets = 256
+	var counts [buckets]int
+	r := New(987654321)
+	for i := 0; i < n; i++ {
+		counts[r.Uint64()>>56]++
+	}
+	expected := float64(n) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > 330 {
+		t.Fatalf("chi-square %.1f over %d buckets (expected < 330 at p~0.001)", chi2, buckets)
+	}
+}
+
+// TestSplitDeterminism: Split is itself a pure function of the parent
+// state — the property ClientSeed-style per-stream derivation relies on.
+func TestSplitDeterminism(t *testing.T) {
+	s1 := New(77).Split()
+	s2 := New(77).Split()
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() != s2.Uint64() {
+			t.Fatalf("split streams diverged at %d", i)
+		}
 	}
 }
 
