@@ -1,0 +1,215 @@
+// Command ioklinkcheck validates relative links in markdown files: every
+// `[text](target)` whose target is not an absolute URL must point at a
+// file that exists, and if it carries a `#fragment` the fragment must
+// match a heading anchor in the target document (GitHub slug rules).
+//
+// Usage:
+//
+//	ioklinkcheck README.md docs/*.md
+//
+// It prints one `file:line: message` per broken link and exits non-zero
+// if any were found, so CI can gate on it directly. Links inside fenced
+// code blocks are ignored; external links (http:, https:, mailto:, ...)
+// are skipped — this tool guards the repo's internal cross-references,
+// which break silently when files move, not the public internet.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// mdLink matches inline links and images: [text](target) / ![alt](target).
+// The target group stops at the first ')' or whitespace, which drops
+// optional link titles (`[t](a.md "title")`) without a full parser.
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+// atxHeading matches `# Title` through `###### Title`.
+var atxHeading = regexp.MustCompile(`^(#{1,6})\s+(.*?)\s*#*\s*$`)
+
+// schemeLike matches absolute targets this tool does not check:
+// `https://...`, `mailto:...`, protocol-relative `//...`.
+var schemeLike = regexp.MustCompile(`^([a-zA-Z][a-zA-Z0-9+.-]*:|//)`)
+
+// slugify converts a heading to its GitHub anchor: lowercase, markdown
+// emphasis and inline-code markers dropped, punctuation removed, spaces
+// hyphenated. Duplicate handling (`-1`, `-2` suffixes) is the caller's job
+// because it needs document order.
+func slugify(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	s = strings.NewReplacer("`", "", "*", "", "_", "").Replace(s)
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// anchors returns the set of heading anchors in a markdown document,
+// with GitHub's duplicate-suffix rule applied in document order.
+func anchors(md string) map[string]bool {
+	out := map[string]bool{}
+	seen := map[string]int{}
+	inFence := false
+	for _, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		m := atxHeading.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		slug := slugify(m[2])
+		if n := seen[slug]; n > 0 {
+			out[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			out[slug] = true
+		}
+		seen[slug]++
+	}
+	return out
+}
+
+// link is one relative link occurrence: the raw target and its 1-based
+// source line.
+type link struct {
+	target string
+	line   int
+}
+
+// relativeLinks extracts the checkable links from a markdown document,
+// skipping fenced code blocks and absolute URLs.
+func relativeLinks(md string) []link {
+	var out []link
+	inFence := false
+	for i, line := range strings.Split(md, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			t := m[1]
+			if t == "" || schemeLike.MatchString(t) {
+				continue
+			}
+			out = append(out, link{target: t, line: i + 1})
+		}
+	}
+	return out
+}
+
+// checker caches parsed documents so a file referenced from many places
+// is read and slugged once.
+type checker struct {
+	docs map[string]string          // path -> contents ("" if unreadable)
+	anch map[string]map[string]bool // path -> heading anchors
+}
+
+func newChecker() *checker {
+	return &checker{docs: map[string]string{}, anch: map[string]map[string]bool{}}
+}
+
+func (c *checker) load(path string) (string, bool) {
+	if s, ok := c.docs[path]; ok {
+		return s, s != "\x00missing"
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		c.docs[path] = "\x00missing"
+		return "", false
+	}
+	c.docs[path] = string(b)
+	return string(b), true
+}
+
+func (c *checker) anchorsOf(path string) map[string]bool {
+	if a, ok := c.anch[path]; ok {
+		return a
+	}
+	md, ok := c.load(path)
+	a := map[string]bool{}
+	if ok {
+		a = anchors(md)
+	}
+	c.anch[path] = a
+	return a
+}
+
+// checkFile validates every relative link in one markdown file and
+// returns `file:line: message` problem strings.
+func (c *checker) checkFile(path string) []string {
+	md, ok := c.load(path)
+	if !ok {
+		return []string{fmt.Sprintf("%s: cannot read file", path)}
+	}
+	var problems []string
+	dir := filepath.Dir(path)
+	for _, l := range relativeLinks(md) {
+		rawPath, frag, _ := strings.Cut(l.target, "#")
+		targetPath := path // same-file anchor
+		if rawPath != "" {
+			targetPath = filepath.Join(dir, rawPath)
+			info, err := os.Stat(targetPath)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: broken link %q: %s does not exist", path, l.line, l.target, targetPath))
+				continue
+			}
+			if info.IsDir() {
+				continue // directory links render as a listing; nothing more to check
+			}
+		}
+		if frag == "" {
+			continue
+		}
+		if !strings.HasSuffix(targetPath, ".md") {
+			continue // anchors into non-markdown files are not ours to judge
+		}
+		if !c.anchorsOf(targetPath)[frag] {
+			problems = append(problems, fmt.Sprintf("%s:%d: broken anchor %q: no heading #%s in %s", path, l.line, l.target, frag, targetPath))
+		}
+	}
+	return problems
+}
+
+// run checks every file and reports problems; exit codes follow the other
+// gate tools: 0 clean, 1 broken links, 2 usage error.
+func run(files []string, stdout, stderr io.Writer) int {
+	if len(files) == 0 {
+		fmt.Fprintln(stderr, "usage: ioklinkcheck FILE.md [FILE.md ...]")
+		return 2
+	}
+	c := newChecker()
+	var problems []string
+	for _, path := range files {
+		problems = append(problems, c.checkFile(path)...)
+	}
+	for _, p := range problems {
+		fmt.Fprintln(stdout, p)
+	}
+	if len(problems) > 0 {
+		fmt.Fprintf(stderr, "ioklinkcheck: %d broken link(s)\n", len(problems))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ioklinkcheck: %d file(s) clean\n", len(files))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}

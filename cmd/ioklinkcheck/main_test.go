@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSlugify(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Approximate similarity", "approximate-similarity"},
+		{"On-disk formats", "on-disk-formats"},
+		{"`internal/sketch` — the ANN index", "internalsketch--the-ann-index"},
+		{"Snapshot v3 (ANN)", "snapshot-v3-ann"},
+		{"What's new?", "whats-new"},
+		{"  Spaces   everywhere ", "spaces---everywhere"},
+	}
+	for _, c := range cases {
+		if got := slugify(c.in); got != c.want {
+			t.Errorf("slugify(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAnchorsDuplicatesAndFences(t *testing.T) {
+	md := strings.Join([]string{
+		"# Title",
+		"## Setup",
+		"```",
+		"# not a heading",
+		"```",
+		"## Setup",
+		"### Deep Dive",
+	}, "\n")
+	a := anchors(md)
+	for _, want := range []string{"title", "setup", "setup-1", "deep-dive"} {
+		if !a[want] {
+			t.Errorf("anchors missing %q (got %v)", want, a)
+		}
+	}
+	if a["not-a-heading"] {
+		t.Error("heading inside a code fence leaked into the anchor set")
+	}
+}
+
+func TestRelativeLinksSkipsExternalAndFenced(t *testing.T) {
+	md := strings.Join([]string{
+		"See [docs](docs/ARCHITECTURE.md) and [site](https://example.com).",
+		"Also [mail](mailto:a@b.c) and [proto](//cdn.example.com/x).",
+		"```",
+		"[fenced](missing.md)",
+		"```",
+		"![diagram](img/flow.png) and [frag](#local).",
+	}, "\n")
+	got := relativeLinks(md)
+	var targets []string
+	for _, l := range got {
+		targets = append(targets, l.target)
+	}
+	want := []string{"docs/ARCHITECTURE.md", "img/flow.png", "#local"}
+	if len(targets) != len(want) {
+		t.Fatalf("relativeLinks = %v, want %v", targets, want)
+	}
+	for i := range want {
+		if targets[i] != want[i] {
+			t.Errorf("relativeLinks[%d] = %q, want %q", i, targets[i], want[i])
+		}
+	}
+}
+
+// writeFile creates path under dir, making parent directories as needed.
+func writeFile(t *testing.T, dir, path, content string) string {
+	t.Helper()
+	full := filepath.Join(dir, path)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return full
+}
+
+func TestCheckFileCleanDocument(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "docs/ARCH.md", "# Overview\n## Formats\nBack to [readme](../README.md#usage).\n")
+	readme := writeFile(t, dir, "README.md",
+		"# iokast\n## Usage\nSee [arch](docs/ARCH.md), [formats](docs/ARCH.md#formats), and [usage](#usage).\n")
+	c := newChecker()
+	if problems := c.checkFile(readme); len(problems) != 0 {
+		t.Fatalf("clean document reported problems: %v", problems)
+	}
+	arch := filepath.Join(dir, "docs/ARCH.md")
+	if problems := c.checkFile(arch); len(problems) != 0 {
+		t.Fatalf("cross-file anchor reported problems: %v", problems)
+	}
+}
+
+func TestCheckFileReportsBrokenLinks(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "docs/ARCH.md", "# Overview\n")
+	readme := writeFile(t, dir, "README.md", strings.Join([]string{
+		"# iokast",
+		"[gone](docs/MISSING.md)",            // missing file
+		"[bad-anchor](docs/ARCH.md#formats)", // anchor not in target
+		"[bad-local](#nowhere)",              // same-file anchor missing
+		"[ok](docs/ARCH.md#overview)",
+	}, "\n"))
+	problems := newChecker().checkFile(readme)
+	if len(problems) != 3 {
+		t.Fatalf("got %d problems, want 3: %v", len(problems), problems)
+	}
+	wantSubstr := []string{"MISSING.md", "#formats", "#nowhere"}
+	for i, sub := range wantSubstr {
+		if !strings.Contains(problems[i], sub) {
+			t.Errorf("problems[%d] = %q, want mention of %q", i, problems[i], sub)
+		}
+	}
+	if !strings.Contains(problems[0], "README.md:2") {
+		t.Errorf("problem should carry file:line, got %q", problems[0])
+	}
+}
+
+func TestRunExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	clean := writeFile(t, dir, "clean.md", "# Title\n[self](#title)\n")
+	broken := writeFile(t, dir, "broken.md", "[gone](missing.md)\n")
+
+	var out, errOut strings.Builder
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{clean}, &out, &errOut); code != 0 {
+		t.Errorf("clean file: exit %d, want 0 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 file(s) clean") {
+		t.Errorf("clean run output = %q", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{clean, broken}, &out, &errOut); code != 1 {
+		t.Errorf("broken file: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "missing.md") || !strings.Contains(errOut.String(), "1 broken link(s)") {
+		t.Errorf("broken run stdout %q stderr %q", out.String(), errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{filepath.Join(dir, "absent.md")}, &out, &errOut); code != 1 {
+		t.Errorf("unreadable input file: exit %d, want 1", code)
+	}
+}
+
+func TestCheckFileNonMarkdownAnchorUnchecked(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "schema.json", "{}\n")
+	readme := writeFile(t, dir, "README.md", "[cfg](schema.json#top)\n")
+	if problems := newChecker().checkFile(readme); len(problems) != 0 {
+		t.Fatalf("anchor into non-markdown file should be skipped, got %v", problems)
+	}
+}

@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+
+	"iokast/internal/core"
+)
+
+// TestANNSnapshotRestoreBitIdentical: a snapshot from an ANN-enabled
+// engine carries the band signatures, and restoring under the same
+// configuration reproduces the exact index state — vectors, signatures,
+// buckets — so approximate queries answer identically without
+// recomputing anything.
+func TestANNSnapshotRestoreBitIdentical(t *testing.T) {
+	xs := corpus(t, 16, 9)
+	opts := Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 96, SketchSeed: 3, ANNBands: 8, ANNRows: 6}
+	e := New(opts)
+	if _, err := e.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Remove(7); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := e.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec := New(opts)
+	if err := rec.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sketchStatesEqual(t, e, rec)
+	if b, r, enabled := rec.ANNConfig(); !enabled || b != 8 || r != 6 {
+		t.Fatalf("restored ANN config (%d, %d, %v)", b, r, enabled)
+	}
+	for _, id := range []int{0, 5, 12} {
+		want, err := e.SimilarApprox(id, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rec.SimilarApprox(id, 5, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("id %d: %d vs %d neighbors", id, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("id %d neighbor %d: %+v vs %+v", id, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// TestANNRestoreReconfigured: a snapshot's signatures are only valid for
+// the banding they were built under. Restoring with different bands/rows
+// (or with ANN turned off) must discard them and rebuild from the
+// persisted vectors, matching a from-scratch engine under the new config.
+func TestANNRestoreReconfigured(t *testing.T) {
+	xs := corpus(t, 12, 2)
+	old := New(Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, SketchSeed: 1, ANNBands: 8, ANNRows: 6})
+	if _, err := old.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := old.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	for _, newOpts := range []Options{
+		{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, SketchSeed: 1, ANNBands: 16, ANNRows: 8},
+		{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, SketchSeed: 1, ANNBands: 8, ANNRows: 3},
+		{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, SketchSeed: 1},
+		{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 32, SketchSeed: 5, ANNBands: 8, ANNRows: 6},
+	} {
+		rec := New(newOpts)
+		if err := rec.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		fresh := New(newOpts)
+		if _, err := fresh.AddBatch(xs); err != nil {
+			t.Fatal(err)
+		}
+		sketchStatesEqual(t, rec, fresh)
+	}
+}
+
+// TestANNRestoreIntoFlatAndDisabled: snapshots written with ANN enabled
+// restore cleanly into engines that never look at the signature block —
+// flat-index engines consume and discard it, sketch-disabled engines skip
+// the whole sketch section — with the Gram state intact.
+func TestANNRestoreIntoFlatAndDisabled(t *testing.T) {
+	xs := corpus(t, 10, 6)
+	withANN := New(Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64, ANNBands: 16})
+	if _, err := withANN.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	var snap bytes.Buffer
+	if _, err := withANN.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	flat := New(Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64})
+	if err := flat.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	disabled := New(Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: -1})
+	if err := disabled.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	gWant, _ := withANN.Gram()
+	for _, rec := range []*Engine{flat, disabled} {
+		gGot, _ := rec.Gram()
+		if d := gGot.MaxAbsDiff(gWant); d != 0 {
+			t.Fatalf("restored Gram differs by %g", d)
+		}
+	}
+	// The flat restore kept the persisted vectors (same sketch config) and
+	// must answer approximate queries like a flat engine built fresh.
+	freshFlat := New(Options{Kernel: &core.Kast{CutWeight: 2}, SketchDim: 64})
+	if _, err := freshFlat.AddBatch(xs); err != nil {
+		t.Fatal(err)
+	}
+	sketchStatesEqual(t, flat, freshFlat)
+}

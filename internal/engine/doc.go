@@ -1,0 +1,48 @@
+// Package engine provides an incremental Gram-matrix engine: a stateful
+// corpus of weighted strings whose kernel matrix is maintained under
+// single-trace insertion, batch insertion, and removal.
+//
+// # Incremental maintenance
+//
+// The paper's batch workflow (kernel.Gram) recomputes all n(n+1)/2 kernel
+// values whenever the dataset changes. In a streaming setting — traces
+// arriving one at a time, as in cmd/iokserve — that is quadratic work per
+// arrival. The engine instead caches each string's per-string
+// representation once (the feature map for inner-product kernels, the
+// interned/prefix-hashed view for the Kast kernel) and, on Add, computes
+// only the new row/column against the existing corpus, fanned out over a
+// bounded worker pool. Adding the (N+1)-th trace therefore costs N kernel
+// evaluations instead of the (N+1)(N+2)/2 a batch recompute pays; AddBatch
+// grows a whole block with one flat fan-out over the new pairs.
+//
+// Results are identical to a from-scratch kernel.Gram over the same
+// strings: both paths evaluate the same kernel on the same cached
+// representations, and every kernel in this project accumulates integer-
+// valued products in float64, which is exact (and thus order-independent)
+// far beyond the magnitudes real traces produce.
+//
+// # Query paths
+//
+// Similar answers by-id queries from the cached Gram row with zero kernel
+// work. SimilarApprox and SimilarTrace run the approximate path: a
+// shortlist from the internal sketch index (flat or LSH-banded, see
+// Options.ANNBands and package sketch) followed by an exact kernel rerank
+// of the top candidates. A rerank covering the corpus returns the exact
+// answer bit for bit. Query-by-trace prepares the query against the
+// corpus interner ephemerally — read-only traffic never grows engine
+// memory — and PrepareTraceQuery/PrepareStoredQuery let callers (the
+// sharded fan-out in particular) embed a query exactly once and share the
+// prepared sketch, band signature, and self-similarity across engines.
+//
+// # Persistence
+//
+// Snapshot/Restore serialise the full engine state — including the raw
+// Gram matrix as float64 bits and the sketch index's vectors and band
+// signatures — so a restore is bit-identical, never a recompute, unless
+// the sketch or ANN configuration changed (then the index is rebuilt
+// deterministically from the canonical strings). Package store adds the
+// write-ahead log and snapshot lifecycle around this.
+//
+// See docs/ARCHITECTURE.md for the data flow, locking model, and the
+// snapshot wire format.
+package engine

@@ -1,22 +1,3 @@
-// Package engine provides an incremental Gram-matrix engine: a stateful
-// corpus of weighted strings whose kernel matrix is maintained under
-// single-trace insertion and removal.
-//
-// The paper's batch workflow (kernel.Gram) recomputes all n(n+1)/2 kernel
-// values whenever the dataset changes. In a streaming setting — traces
-// arriving one at a time, as in cmd/iokserve — that is quadratic work per
-// arrival. The engine instead caches each string's per-string
-// representation once (the feature map for inner-product kernels, the
-// interned/prefix-hashed view for the Kast kernel) and, on Add, computes
-// only the new row/column against the existing corpus, fanned out over a
-// bounded worker pool. Adding the (N+1)-th trace therefore costs N kernel
-// evaluations instead of the (N+1)(N+2)/2 a batch recompute pays.
-//
-// Results are identical to a from-scratch kernel.Gram over the same
-// strings: both paths evaluate the same kernel on the same cached
-// representations, and every kernel in this project accumulates integer-
-// valued products in float64, which is exact (and thus order-independent)
-// far beyond the magnitudes real traces produce.
 package engine
 
 import (
@@ -56,6 +37,17 @@ type Options struct {
 	// SketchSeed keys the sketch hashes. Sketches (and snapshots carrying
 	// them) are only compatible across engines with equal dim and seed.
 	SketchSeed uint64
+	// ANNBands, when > 0, switches the sketch index from a flat scan to
+	// LSH-banded candidate generation (sketch.NewIndexANN): ANNBands band
+	// signatures of ANNRows sign-random-projection bits each, derived from
+	// SketchSeed. Search then scans only the entries sharing a band with
+	// the query, falling back to the flat scan whenever exactness requires
+	// it — full-rerank queries stay bit-identical to Similar. 0 (the zero
+	// value) keeps the exact flat scan. Ignored when sketching is disabled.
+	ANNBands int
+	// ANNRows is the number of hyperplanes per band; 0 means
+	// sketch.DefaultRows, values above sketch.MaxRows are clamped.
+	ANNRows int
 }
 
 // Log receives engine mutations for durability. Implementations must be
@@ -128,7 +120,7 @@ func New(opt Options) *Engine {
 	}
 	if opt.SketchDim >= 0 {
 		e.sk = sketch.New(sketch.Options{Dim: opt.SketchDim, Seed: opt.SketchSeed})
-		e.ix = sketch.NewIndex(e.sk.Dim())
+		e.ix = sketch.NewIndexANN(e.sk.Dim(), opt.ANNBands, opt.ANNRows, opt.SketchSeed)
 	}
 	return e
 }
@@ -554,10 +546,14 @@ func (e *Engine) Similar(id, k int) ([]Neighbor, error) {
 // SimilarTrace use when the caller does not pick a rerank width.
 const DefaultRerankFloor = 32
 
-// defaultRerank sizes the candidate shortlist for a top-k query: a 4x
-// over-fetch with a floor, so small k still gives the exact rerank enough
-// candidates to recover sketch-ranking mistakes.
-func defaultRerank(k int) int {
+// DefaultRerank sizes the candidate shortlist for a top-k query when the
+// caller passes rerank < 0: a 4x over-fetch with a floor, so small k still
+// gives the exact rerank enough candidates to recover sketch-ranking
+// mistakes. k < 0 (return everything) yields an effectively unbounded
+// shortlist, i.e. the exact path. Exported so internal/shard can resolve
+// the caller's rerank to the same width the single engine would before
+// splitting it across shards.
+func DefaultRerank(k int) int {
 	if k < 0 {
 		return int(^uint(0) >> 1) // all candidates: exact
 	}
@@ -590,18 +586,19 @@ func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
 	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
 		return nil, fmt.Errorf("engine: no entry with id %d", id)
 	}
-	q := e.ix.Vec(id)
 	if rerank < 0 {
-		rerank = defaultRerank(k)
+		rerank = DefaultRerank(k)
 	}
+	// SearchSelf reuses the stored vector — and, on a banded index, the
+	// stored signature — so by-id queries never pay signature work.
 	if rerank == 0 {
-		return neighbors(e.ix.Search(q, k, id)), nil
+		return neighbors(e.ix.SearchSelf(id, k)), nil
 	}
 	fetch := rerank
 	if k > fetch {
 		fetch = k
 	}
-	cands := e.ix.Search(q, fetch, id)
+	cands := e.ix.SearchSelf(id, fetch)
 	self := e.g.At(id, id)
 	out := make([]Neighbor, 0, len(cands))
 	for _, c := range cands {
@@ -620,6 +617,83 @@ func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
 	return out, nil
 }
 
+// TraceQuery is a query trace prepared once for one or more
+// SimilarTracePrepared calls: the canonical string copy, the feature map
+// (featured kernels), and the prepared sketch query (vector, band
+// signature, quantized copy). All of these depend only on the string and
+// the engine configuration — not on any corpus — so one TraceQuery can be
+// shared across every engine built with the same kernel and sketch/ANN
+// configuration. internal/shard prepares the query once and fans the same
+// TraceQuery out to all shards, paying the sketch and signature cost once
+// instead of once per shard.
+type TraceQuery struct {
+	x     token.String
+	feats map[string]float64
+	sq    *sketch.Query
+	// self caches k(q, q), which depends only on the string and the
+	// kernel: the fan-out would otherwise recompute it on every shard.
+	self    float64
+	hasSelf bool
+}
+
+// PrepareTraceQuery builds the corpus-independent representation of a
+// query trace: a defensive copy of the string, its feature map for
+// featured kernels, and — when sketching is enabled — the prepared sketch
+// query. The Kast prepared view is deliberately not built here: it
+// depends on each engine's interner, so SimilarTracePrepared builds it
+// per call.
+func (e *Engine) PrepareTraceQuery(x token.String) (*TraceQuery, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("engine: empty query string")
+	}
+	tq := &TraceQuery{x: append(token.String(nil), x...)}
+	if e.featured {
+		tq.feats, _ = kernel.Features(e.k, tq.x)
+	}
+	if e.sk != nil {
+		var vec []float64
+		if e.featured {
+			vec = e.sk.SketchFeatures(tq.feats)
+		} else {
+			vec = e.sk.Sketch(tq.x)
+		}
+		tq.sq = e.ix.PrepareQuery(vec)
+	}
+	// Self-similarity is corpus-independent (for Kast the interned view
+	// only renames literals, never changes the value), so pay for it once
+	// here instead of once per fan-out shard.
+	qe := &entry{x: tq.x, feats: tq.feats}
+	if e.kast != nil {
+		qe.prep = e.interner.PrepareEphemeral(tq.x)
+		qe.x = qe.prep.String()
+	}
+	tq.self = e.compare(qe, qe)
+	tq.hasSelf = true
+	return tq, nil
+}
+
+// PrepareStoredQuery builds a TraceQuery from a live corpus entry,
+// reusing everything the engine already holds for it: the stored string,
+// its feature map, and its sketch vector with the stored band signature.
+// This is PrepareTraceQuery minus all the compute — no sketch, no
+// signature — which is what makes sharded by-id queries as cheap as the
+// single engine's: the owner shard prepares here and the fan-out shards
+// search with the stored byproducts. The result aliases engine storage
+// and must be treated as read-only.
+func (e *Engine) PrepareStoredQuery(id int) (*TraceQuery, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if id < 0 || id >= len(e.entries) || e.entries[id] == nil {
+		return nil, fmt.Errorf("engine: no entry with id %d", id)
+	}
+	en := e.entries[id]
+	tq := &TraceQuery{x: en.x, feats: en.feats, self: e.g.At(id, id), hasSelf: true}
+	if e.sk != nil {
+		tq.sq = e.ix.SelfQuery(id)
+	}
+	return tq, nil
+}
+
 // SimilarTrace answers "what is this trace similar to?" without ingesting
 // it: the query string is prepared (and sketched) exactly like a corpus
 // entry, but nothing is added to the corpus, logged, or assigned an id.
@@ -631,16 +705,45 @@ func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
 // is disabled the query always runs exact — one kernel evaluation per live
 // entry — whatever rerank says.
 func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error) {
-	if len(x) == 0 {
+	tq, err := e.PrepareTraceQuery(x)
+	if err != nil {
+		return nil, err
+	}
+	return e.SimilarTracePrepared(tq, k, rerank)
+}
+
+// SimilarTracePrepared is SimilarTrace over an already-prepared query.
+// tq must come from PrepareTraceQuery on this engine or on one with an
+// identical kernel and sketch/ANN configuration (the sharded fan-out);
+// a query prepared without ANN byproducts simply falls back to the flat
+// sketch scan inside the index.
+func (e *Engine) SimilarTracePrepared(tq *TraceQuery, k, rerank int) ([]Neighbor, error) {
+	if len(tq.x) == 0 {
 		return nil, fmt.Errorf("engine: empty query string")
 	}
-	// Representations are built outside any lock, like Add's compute
-	// phase. For Kast engines the query is prepared against the shared
-	// interner without growing it: unknown literals get ephemeral scratch
-	// ids, so query traffic never costs table memory.
-	qe := e.newQueryEntry(x)
-	e.sketchEntry(qe)
-	self := e.compare(qe, qe)
+	// The per-engine representation is built outside any lock, like Add's
+	// compute phase. For Kast engines the query is prepared against the
+	// shared interner without growing it: unknown literals get ephemeral
+	// scratch ids, so query traffic never costs table memory.
+	qe := &entry{x: tq.x, feats: tq.feats}
+	if e.kast != nil {
+		qe.prep = e.interner.PrepareEphemeral(tq.x)
+		qe.x = qe.prep.String()
+	}
+	sq := tq.sq
+	if e.sk != nil && sq == nil {
+		// Prepared by a sketchless engine; sketch here so the approximate
+		// paths still work.
+		if e.featured {
+			sq = e.ix.PrepareQuery(e.sk.SketchFeatures(qe.feats))
+		} else {
+			sq = e.ix.PrepareQuery(e.sk.Sketch(qe.x))
+		}
+	}
+	self := tq.self
+	if !tq.hasSelf {
+		self = e.compare(qe, qe)
+	}
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -652,14 +755,15 @@ func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error)
 		// it is held, so the refreshed view agrees with every candidate.
 		// (Sketches and self-similarity depend only on the string, not on
 		// the id assignment, so they stay valid.)
-		qe.prep = e.interner.PrepareEphemeral(x)
+		qe.prep = e.interner.PrepareEphemeral(tq.x)
 	}
 	if rerank < 0 {
-		rerank = defaultRerank(k)
+		rerank = DefaultRerank(k)
 	}
 	var cands []sketch.Candidate
 	if e.ix == nil || rerank >= e.active {
 		// Exact path: every live entry is a candidate.
+		cands = make([]sketch.Candidate, 0, e.active)
 		for id, en := range e.entries {
 			if en != nil {
 				cands = append(cands, sketch.Candidate{ID: id})
@@ -667,13 +771,13 @@ func (e *Engine) SimilarTrace(x token.String, k, rerank int) ([]Neighbor, error)
 		}
 	} else {
 		if rerank == 0 {
-			return neighbors(e.ix.Search(qe.vec, k, -1)), nil
+			return neighbors(e.ix.SearchQuery(sq, k, -1)), nil
 		}
 		fetch := rerank
 		if k > fetch {
 			fetch = k
 		}
-		cands = e.ix.Search(qe.vec, fetch, -1)
+		cands = e.ix.SearchQuery(sq, fetch, -1)
 	}
 	// The candidate kernel evaluations fan out over the worker pool, like
 	// Add's row computation.
@@ -742,6 +846,16 @@ func (e *Engine) SketchConfig() (dim int, seed uint64, enabled bool) {
 		return 0, 0, false
 	}
 	return e.sk.Dim(), e.sk.Seed(), true
+}
+
+// ANNConfig reports whether the sketch index generates candidates from
+// LSH bands and, if so, the band count and rows per band. enabled is
+// false both when sketching is off and when the index is a flat scan.
+func (e *Engine) ANNConfig() (bands, rows int, enabled bool) {
+	if e.ix == nil {
+		return 0, 0, false
+	}
+	return e.ix.ANNConfig()
 }
 
 // SketchVec returns a copy of the indexed sketch vector for id, or nil if

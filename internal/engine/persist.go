@@ -22,8 +22,9 @@ import (
 // Layout:
 //
 //	magic    "IOKSNAP1" (8 bytes)
-//	version  byte (= 2; version-1 snapshots, which end the CRC section
-//	         after the entries, are still restored)
+//	version  byte (= 3; version-1 snapshots end the CRC section after the
+//	         entries, version-2 after the sketch config — both are still
+//	         restored, with anything they lack recomputed)
 //	kernel   uvarint length + kernel.Name() bytes (checked on restore)
 //	seq      uint64 little-endian, mutations applied at capture
 //	numIDs   uvarint, total ids ever assigned (matrix dimension)
@@ -32,16 +33,22 @@ import (
 //	         if live: uvarint length + canonical token text (token.Parse)
 //	sketch   flag byte 0 (disabled) or 1 (enabled); if enabled: uvarint
 //	         dim + uint64 little-endian seed (version >= 2 only)
+//	ann      flag byte 0 (flat index) or 1 (LSH-banded); if banded:
+//	         uvarint bands + uvarint rows (version >= 3 only)
 //	crc      uint32 little-endian, CRC-32C over everything above
 //	vectors  matrixio.WriteVectors of the sketch index, one slot per id
 //	         (own magic and CRC; only when the sketch flag is 1)
+//	sigs     matrixio.WriteWordVectors of the ANN band signatures, one
+//	         slot per id, width = bands (own magic and CRC; only when the
+//	         ann flag is 1)
 //	triangle matrixio.WriteSymmetricTriangle of the raw Gram matrix
 //	         (own magic and CRC; must be last, the triangle reader may
 //	         buffer to end-of-stream)
 const snapshotMagic = "IOKSNAP1"
 
 const (
-	snapshotVersion   = 2
+	snapshotVersion   = 3
+	snapshotVersionV2 = 2
 	snapshotVersionV1 = 1
 )
 
@@ -131,6 +138,22 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 			return fmt.Errorf("engine: snapshot: %w", err)
 		}
 	}
+	annBands, annRows, annEnabled := e.ANNConfig()
+	if !annEnabled {
+		if _, err := cw.Write([]byte{0}); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+	} else {
+		if _, err := cw.Write([]byte{1}); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(annBands)); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+		if err := writeUvarint(uint64(annRows)); err != nil {
+			return fmt.Errorf("engine: snapshot: %w", err)
+		}
+	}
 	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
 	if _, err := bw.Write(scratch[:4]); err != nil {
 		return fmt.Errorf("engine: snapshot: %w", err)
@@ -150,6 +173,21 @@ func (e *Engine) snapshotLocked(w io.Writer) error {
 		}
 		if err := matrixio.WriteVectors(w, e.sk.Dim(), vecs); err != nil {
 			return fmt.Errorf("engine: snapshot sketches: %w", err)
+		}
+		if annEnabled {
+			// Band signatures are deterministic in (vector, config), so a
+			// restore could recompute them; persisting them trades a few
+			// bands*8 bytes per entry for skipping bands*rows*dim float
+			// additions per entry on recovery.
+			sigs := make([][]uint64, len(e.entries))
+			for id, en := range e.entries {
+				if en != nil {
+					sigs[id] = e.ix.Sig(id)
+				}
+			}
+			if err := matrixio.WriteWordVectors(w, annBands, sigs); err != nil {
+				return fmt.Errorf("engine: snapshot signatures: %w", err)
+			}
 		}
 	}
 	if err := matrixio.WriteSymmetricTriangle(w, e.g); err != nil {
@@ -205,7 +243,7 @@ func (e *Engine) Restore(r io.Reader) error {
 		return fmt.Errorf("engine: bad snapshot magic %q", head[:len(snapshotMagic)])
 	}
 	version := head[len(snapshotMagic)]
-	if version != snapshotVersion && version != snapshotVersionV1 {
+	if version != snapshotVersion && version != snapshotVersionV2 && version != snapshotVersionV1 {
 		return fmt.Errorf("engine: unsupported snapshot version %d", version)
 	}
 	nameLen, err := binary.ReadUvarint(cr)
@@ -296,6 +334,30 @@ func (e *Engine) Restore(r io.Reader) error {
 			return fmt.Errorf("engine: restore sketch flag: bad value %d", flag)
 		}
 	}
+	var (
+		snapANN   bool
+		snapBands uint64
+		snapRows  uint64
+	)
+	if version >= 3 {
+		flag, err := cr.ReadByte()
+		if err != nil {
+			return fmt.Errorf("engine: restore ann flag: %w", err)
+		}
+		switch flag {
+		case 0:
+		case 1:
+			snapANN = true
+			if snapBands, err = binary.ReadUvarint(cr); err != nil || snapBands == 0 || snapBands > 1<<12 {
+				return fmt.Errorf("engine: restore ann bands: %v", err)
+			}
+			if snapRows, err = binary.ReadUvarint(cr); err != nil || snapRows == 0 || snapRows > 64 {
+				return fmt.Errorf("engine: restore ann rows: %v", err)
+			}
+		default:
+			return fmt.Errorf("engine: restore ann flag: bad value %d", flag)
+		}
+	}
 	sum := cr.crc.Sum32()
 	var crcBuf [4]byte
 	if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
@@ -319,6 +381,20 @@ func (e *Engine) Restore(r io.Reader) error {
 		}
 		snapVecs = vecs
 	}
+	var snapSigs [][]uint64
+	if snapANN {
+		// Like the vector block, the signature block must be consumed to
+		// reach the triangle even when this engine cannot use it.
+		sigWidth, sigs, err := matrixio.ReadWordVectors(br, int(numIDs))
+		if err != nil {
+			return fmt.Errorf("engine: restore signatures: %w", err)
+		}
+		if uint64(sigWidth) != snapBands || len(sigs) != int(numIDs) {
+			return fmt.Errorf("engine: signature block %dx%d does not match header %dx%d",
+				len(sigs), sigWidth, numIDs, snapBands)
+		}
+		snapSigs = sigs
+	}
 
 	// numIDs is trustworthy here — the entries section it was read with
 	// just passed its CRC — so it bounds the triangle allocation exactly.
@@ -338,6 +414,14 @@ func (e *Engine) Restore(r io.Reader) error {
 		// would have persisted — sketches are deterministic in (string,
 		// dim, seed).
 		usePersisted := snapSketch && snapDim == uint64(e.sk.Dim()) && snapSeed == e.sk.Seed()
+		// Persisted band signatures are reused only when the vectors are
+		// and the banding parameters match this engine's exactly; anything
+		// else (older snapshot, changed --ann-* flags) falls back to
+		// recomputing signatures from the restored vectors, which yields
+		// the same bits — signatures are deterministic in (vector, config).
+		bands, rows, annEnabled := e.ANNConfig()
+		useSigs := usePersisted && annEnabled && snapANN &&
+			snapBands == uint64(bands) && snapRows == uint64(rows)
 		for id, en := range entries {
 			if en == nil {
 				continue
@@ -350,7 +434,11 @@ func (e *Engine) Restore(r io.Reader) error {
 			} else {
 				e.sketchEntry(en)
 			}
-			_ = e.ix.Add(id, en.vec)
+			var sig []uint64
+			if useSigs {
+				sig = snapSigs[id]
+			}
+			_ = e.ix.AddSigned(id, en.vec, sig)
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"iokast/internal/linalg"
 	"iokast/internal/token"
@@ -74,21 +75,30 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	// Work is claimed from a shared atomic counter rather than dispatched
+	// over a channel: one uncontended atomic add (~tens of ns) per item
+	// instead of a channel send/receive rendezvous (~hundreds of ns, plus
+	// the dispatching goroutine serialising on every handoff). For the
+	// engine's query fan-out — thousands of ~microsecond kernel evaluations
+	// per request — that dispatch overhead was a measurable slice of the
+	// row computation.
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 }
 

@@ -1,0 +1,141 @@
+package matrixio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestWordVectorsRoundTrip(t *testing.T) {
+	rows := [][]uint64{
+		{0xdeadbeef, 0, 1<<64 - 1},
+		nil, // tombstoned slot
+		{1, 2, 3},
+		nil,
+	}
+	var buf bytes.Buffer
+	if err := WriteWordVectors(&buf, 3, rows); err != nil {
+		t.Fatal(err)
+	}
+	trailer := []byte("after-block")
+	buf.Write(trailer)
+
+	width, got, err := ReadWordVectors(&buf, len(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 3 {
+		t.Fatalf("width = %d, want 3", width)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("got %d slots, want %d", len(got), len(rows))
+	}
+	for i, row := range rows {
+		if (row == nil) != (got[i] == nil) {
+			t.Fatalf("slot %d presence mismatch", i)
+		}
+		for j := range row {
+			if got[i][j] != row[j] {
+				t.Fatalf("slot %d word %d = %#x, want %#x", i, j, got[i][j], row[j])
+			}
+		}
+	}
+	// The reader must consume exactly its block and leave the trailer.
+	rest, err := io.ReadAll(&buf)
+	if err != nil || !bytes.Equal(rest, trailer) {
+		t.Fatalf("trailing bytes = %q, %v; want %q", rest, err, trailer)
+	}
+}
+
+func TestWordVectorsEmptyAndZeroSlots(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWordVectors(&buf, 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	width, rows, err := ReadWordVectors(&buf, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if width != 5 || len(rows) != 0 {
+		t.Fatalf("got width %d, %d rows; want 5, 0", width, len(rows))
+	}
+}
+
+func TestWordVectorsWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWordVectors(&buf, 0, nil); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if err := WriteWordVectors(&buf, maxWordWidth+1, nil); err == nil {
+		t.Error("oversized width accepted")
+	}
+	if err := WriteWordVectors(&buf, 2, [][]uint64{{1, 2, 3}}); err == nil {
+		t.Error("row wider than declared width accepted")
+	}
+}
+
+func TestWordVectorsDetectsCorruption(t *testing.T) {
+	encode := func() []byte {
+		var buf bytes.Buffer
+		if err := WriteWordVectors(&buf, 2, [][]uint64{{7, 8}, nil, {9, 10}}); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	img := encode()
+
+	// Flip one payload byte: the CRC must catch it.
+	corrupt := append([]byte(nil), img...)
+	corrupt[len(wordMagic)+8+3] ^= 0xff
+	if _, _, err := ReadWordVectors(bytes.NewReader(corrupt), 10); err == nil ||
+		!strings.Contains(err.Error(), "crc") {
+		t.Errorf("flipped payload byte: err = %v, want crc mismatch", err)
+	}
+
+	// Bad magic.
+	corrupt = append([]byte(nil), img...)
+	corrupt[0] ^= 0xff
+	if _, _, err := ReadWordVectors(bytes.NewReader(corrupt), 10); err == nil ||
+		!strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: err = %v, want magic error", err)
+	}
+
+	// Bad slot flag (2): refused before the CRC.
+	corrupt = append([]byte(nil), img...)
+	corrupt[len(wordMagic)+8] = 2
+	if _, _, err := ReadWordVectors(bytes.NewReader(corrupt), 10); err == nil ||
+		!strings.Contains(err.Error(), "flag") {
+		t.Errorf("bad flag: err = %v, want flag error", err)
+	}
+
+	// Truncations at every prefix must error, never panic or succeed.
+	for cut := 0; cut < len(img); cut++ {
+		if _, _, err := ReadWordVectors(bytes.NewReader(img[:cut]), 10); err == nil {
+			t.Fatalf("truncation at %d bytes read successfully", cut)
+		}
+	}
+}
+
+func TestWordVectorsRejectsHugeHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWordVectors(&buf, 1, [][]uint64{{1}, {2}, {3}}); err != nil {
+		t.Fatal(err)
+	}
+	// A reader with a tighter bound than the stored count must refuse it
+	// before allocating.
+	if _, _, err := ReadWordVectors(bytes.NewReader(buf.Bytes()), 2); err == nil ||
+		!strings.Contains(err.Error(), "limit") {
+		t.Errorf("count above maxCount: err = %v, want limit error", err)
+	}
+
+	// Width outside the hard bound is refused even with a generous count.
+	img := buf.Bytes()
+	corrupt := append([]byte(nil), img...)
+	corrupt[12] = 0xff
+	corrupt[13] = 0xff
+	if _, _, err := ReadWordVectors(bytes.NewReader(corrupt), 10); err == nil ||
+		!strings.Contains(err.Error(), "width") {
+		t.Errorf("huge width: err = %v, want width error", err)
+	}
+}

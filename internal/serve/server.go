@@ -1,8 +1,3 @@
-// Package serve implements the iokserve HTTP surface as an importable
-// handler. cmd/iokserve wires flags, durability, and signal handling around
-// it; tests and the load harness (cmd/iokload) mount the same handler on
-// in-process listeners, so load tests exercise exactly the code the binary
-// ships.
 package serve
 
 import (
@@ -50,6 +45,7 @@ type corpus interface {
 	Err() error
 	Kernel() kernel.Kernel
 	SketchConfig() (dim int, seed uint64, enabled bool)
+	ANNConfig() (bands, rows int, enabled bool)
 }
 
 // Server routes HTTP requests onto one shared corpus. Concurrency control
@@ -550,6 +546,10 @@ func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"status": "ok", "traces": s.c.Len()}
+	if bands, rows, enabled := s.c.ANNConfig(); enabled {
+		resp["ann_bands"] = bands
+		resp["ann_rows"] = rows
+	}
 	status := http.StatusOK
 	if s.sh != nil {
 		// Per-shard health: one degraded shard degrades the whole instance

@@ -1,0 +1,41 @@
+// Package shard scales the incremental Gram engine past one write lock,
+// one Gram matrix, and one WAL: a Sharded corpus splits the id space
+// across N fully independent engine+store pairs behind a single global
+// API that matches engine.Engine's.
+//
+// # Routing
+//
+// Every trace id is owned by exactly one shard, chosen by Route — a pure
+// seeded hash (the SplitMix64 finalizer) of the id, mod the shard count.
+// The mapping depends only on (id, seed, shards), so an id can never move
+// between shards; the MANIFEST of a durable directory pins seed and count
+// so every reopen routes identically. Batch ingest is split into
+// per-shard sub-batches applied in parallel — one WAL record and one
+// fsync per shard — and the pairwise kernel work drops to N^2/(2*shards)
+// because cross-shard pairs are never computed.
+//
+// # Fan-out queries
+//
+// Normalized similarity k(x,y)/sqrt(k(x,x)k(y,y)) is pairwise, so
+// disjoint partitions merge losslessly: a query is embedded and prepared
+// exactly once (engine.PrepareTraceQuery, or the owner shard's stored
+// state for by-id queries), fanned out to every shard in parallel, and
+// the per-shard top-k merged by (similarity desc, id asc). Exact queries
+// and covering-rerank approximate queries are bit-identical to the
+// single-engine answer — same ids, same float64 bits, same order — and
+// the approximate path splits one global rerank budget across shards so
+// the fleet evaluates about as many kernels as a single engine would.
+//
+// # Recovery
+//
+// Shards recover concurrently; the global id mapping is then re-derived
+// by walking ids upward and dealing each to the next local slot of its
+// owner shard. A kill -9 can tear at most the one in-flight batch across
+// shard WALs; recovery rolls committed sub-batches forward and plugs
+// durable tombstones for globals whose shard lost its part, so
+// acknowledged mutations are never lost and every reopen derives the
+// identical mapping.
+//
+// See docs/ARCHITECTURE.md for the locking model and the MANIFEST wire
+// format.
+package shard

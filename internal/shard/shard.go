@@ -342,18 +342,80 @@ func (s *Sharded) resolve(id int) (token.String, loc, error) {
 	return x, lc, nil
 }
 
-// fanOut runs SimilarTrace(x, fetch(shard), rerank) on every shard in
-// parallel and returns the union of the per-shard results with local ids
-// mapped to global ids, unsorted.
-func (s *Sharded) fanOut(x token.String, fetch func(sh int) int, rerank int) ([]engine.Neighbor, error) {
+// storedQuery resolves a global id and prepares the fan-out query from
+// the owner engine's stored state — string, feature map, sketch vector,
+// band signature — without recomputing any of it. This keeps by-id
+// queries as cheap as on the single engine: the embedding was paid at
+// ingest, never per query.
+func (s *Sharded) storedQuery(id int) (*engine.TraceQuery, loc, error) {
+	s.mu.RLock()
+	if id < 0 || id >= len(s.locals) {
+		s.mu.RUnlock()
+		return nil, loc{}, fmt.Errorf("shard: no entry with id %d", id)
+	}
+	lc := s.locals[id]
+	s.mu.RUnlock()
+	tq, err := s.engines[lc.shard].PrepareStoredQuery(lc.local)
+	if err != nil {
+		return nil, loc{}, fmt.Errorf("shard: no entry with id %d", id)
+	}
+	return tq, lc, nil
+}
+
+// shardRerank resolves the caller's (k, rerank) into the per-shard
+// shortlist width, so the rerank budget is global: a caller asking for R
+// reranked candidates pays ~R kernel evaluations across the whole corpus,
+// as on the single engine, not R per shard. Each shard still reranks at
+// least k candidates — required for the exact-merge guarantee, since the
+// global top-k can live entirely inside one shard. The engine's rerank
+// conventions are preserved: negative resolves to the same default width
+// a single engine would pick, 0 stays sketch-only, and any width covering
+// the global corpus forces every shard onto its exact path.
+func (s *Sharded) shardRerank(k, rerank int) int {
+	if rerank < 0 {
+		if k < 0 {
+			return exactRerank
+		}
+		rerank = engine.DefaultRerank(k)
+	}
+	if rerank == 0 {
+		return 0
+	}
+	if k < 0 || rerank >= s.Len() {
+		return exactRerank
+	}
+	per := (rerank + s.n - 1) / s.n
+	if per < k {
+		per = k
+	}
+	return per
+}
+
+// prepareQuery builds the shared trace query once, on shard 0's engine.
+// Every shard engine is built from the same Options, so the prepared
+// sketch vector, band signature, and feature map are valid on all of them
+// — the fan-out pays the embedding cost once, not once per shard.
+func (s *Sharded) prepareQuery(x token.String) (*engine.TraceQuery, error) {
+	return s.engines[0].PrepareTraceQuery(x)
+}
+
+// fanOut runs SimilarTracePrepared(tq, k, rerank) on every shard except
+// skip (pass -1 to query all) in parallel, returning the per-shard results
+// with local ids. The skipped slot is left nil for the caller to fill —
+// by-id queries answer the owner shard from its cached Gram row instead of
+// recomputing kernel values.
+func (s *Sharded) fanOut(tq *engine.TraceQuery, k, rerank, skip int) ([][]engine.Neighbor, error) {
 	res := make([][]engine.Neighbor, s.n)
 	errs := make([]error, s.n)
 	var wg sync.WaitGroup
 	for sh := range s.engines {
+		if sh == skip {
+			continue
+		}
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
-			res[sh], errs[sh] = s.engines[sh].SimilarTrace(x, fetch(sh), rerank)
+			res[sh], errs[sh] = s.engines[sh].SimilarTracePrepared(tq, k, rerank)
 		}(sh)
 	}
 	wg.Wait()
@@ -362,6 +424,12 @@ func (s *Sharded) fanOut(x token.String, fetch func(sh int) int, rerank int) ([]
 			return nil, fmt.Errorf("shard %d: %w", sh, err)
 		}
 	}
+	return res, nil
+}
+
+// merge maps the per-shard results to global ids and concatenates them,
+// unsorted, into one preallocated slice.
+func (s *Sharded) merge(res [][]engine.Neighbor) []engine.Neighbor {
 	total := 0
 	for _, ns := range res {
 		total += len(ns)
@@ -374,105 +442,86 @@ func (s *Sharded) fanOut(x token.String, fetch func(sh int) int, rerank int) ([]
 			out = append(out, engine.Neighbor{ID: s.globals[sh][nb.ID], Similarity: nb.Similarity})
 		}
 	}
-	return out, nil
+	return out
 }
 
 // Similar returns the k live entries most similar to the given global id,
 // bit-identical to what a single engine over the same corpus would return
-// (same ids, same float bits, same order). The query string is resolved
-// from its owner shard and compared against every shard in parallel on the
-// exact kernel path; because scores are pairwise, merging the per-shard
-// top-k by (score desc, id asc) reproduces the global top-k exactly. Unlike
-// the single engine, which reads cached Gram entries, the row of kernel
-// values is recomputed per query — the price of not maintaining cross-shard
-// Gram state.
+// (same ids, same float bits, same order). The owner shard answers from
+// its cached Gram row — exactly like the single engine — while the other
+// shards, which hold no kernel values against the query, recompute their
+// rows on the exact path in parallel; because scores are pairwise, merging
+// the per-shard top-k by (score desc, id asc) reproduces the global top-k
+// exactly.
 func (s *Sharded) Similar(id, k int) ([]engine.Neighbor, error) {
-	x, lc, err := s.resolve(id)
+	tq, lc, err := s.storedQuery(id)
 	if err != nil {
 		return nil, err
 	}
-	fetch := func(sh int) int {
-		if k < 0 {
-			return -1
-		}
-		if sh == lc.shard {
-			return k + 1 // headroom to drop the query entry itself
-		}
-		return k
-	}
-	merged, err := s.fanOut(x, fetch, exactRerank)
+	res, err := s.fanOut(tq, k, exactRerank, lc.shard)
 	if err != nil {
 		return nil, err
 	}
-	merged = dropID(merged, id)
+	if res[lc.shard], err = s.engines[lc.shard].Similar(lc.local, k); err != nil {
+		return nil, err
+	}
+	merged := s.merge(res)
 	sortNeighbors(merged)
 	return truncate(merged, k), nil
 }
 
 // SimilarApprox is Similar answered from the shards' sketch indexes: each
-// shard shortlists rerank candidates by sketch score and reranks them with
-// exact kernel values, and the per-shard results merge like Similar. The
-// result is exact over the union of the shortlists — identical to Similar
-// whenever the shortlists cover the true top k, and always identical when
-// rerank covers the corpus. rerank follows the engine's convention:
-// negative for the default over-fetch, 0 for raw sketch scores.
+// shard shortlists candidates by sketch score (through its ANN bands when
+// enabled) and reranks them with exact kernel values, and the per-shard
+// results merge like Similar. The rerank budget is global (see
+// shardRerank): the result is exact over the union of the shortlists —
+// identical to Similar whenever they cover the true top k, and always
+// identical when rerank covers the corpus. rerank follows the engine's
+// convention: negative for the default over-fetch, 0 for raw sketch
+// scores. The owner shard answers from its cached Gram row and stored
+// sketch; only the other shards evaluate kernels against the query.
 func (s *Sharded) SimilarApprox(id, k, rerank int) ([]engine.Neighbor, error) {
 	if _, _, enabled := s.SketchConfig(); !enabled {
 		return nil, fmt.Errorf("shard: sketching disabled (Options.SketchDim < 0)")
 	}
-	x, lc, err := s.resolve(id)
+	tq, lc, err := s.storedQuery(id)
 	if err != nil {
 		return nil, err
 	}
-	fetch := func(sh int) int {
-		if k < 0 {
-			return -1
-		}
-		if sh == lc.shard {
-			return k + 1
-		}
-		return k
-	}
-	merged, err := s.fanOut(x, fetch, rerank)
+	per := s.shardRerank(k, rerank)
+	res, err := s.fanOut(tq, k, per, lc.shard)
 	if err != nil {
 		return nil, err
 	}
-	merged = dropID(merged, id)
+	if res[lc.shard], err = s.engines[lc.shard].SimilarApprox(lc.local, k, per); err != nil {
+		return nil, err
+	}
+	merged := s.merge(res)
 	sortNeighbors(merged)
 	return truncate(merged, k), nil
 }
 
 // SimilarTrace answers query-by-trace without ingesting: the string is
-// compared against every shard in parallel and the per-shard top-k merge
-// exactly, as in Similar. rerank follows the engine's convention and is
-// applied per shard; with an exact rerank (>= the corpus size) the result
-// is bit-identical to the single engine's.
+// embedded once (sketch vector plus ANN signature, shared across the
+// fan-out), compared against every shard in parallel, and the per-shard
+// top-k merge exactly, as in Similar. rerank follows the engine's
+// convention with a global budget (see shardRerank); with an exact rerank
+// (>= the corpus size) the result is bit-identical to the single engine's.
 func (s *Sharded) SimilarTrace(x token.String, k, rerank int) ([]engine.Neighbor, error) {
 	if len(x) == 0 {
 		return nil, fmt.Errorf("shard: empty query string")
 	}
-	fetch := func(int) int {
-		if k < 0 {
-			return -1
-		}
-		return k
-	}
-	merged, err := s.fanOut(x, fetch, rerank)
+	tq, err := s.prepareQuery(x)
 	if err != nil {
 		return nil, err
 	}
+	res, err := s.fanOut(tq, k, s.shardRerank(k, rerank), -1)
+	if err != nil {
+		return nil, err
+	}
+	merged := s.merge(res)
 	sortNeighbors(merged)
 	return truncate(merged, k), nil
-}
-
-// dropID removes the neighbor with the given id, preserving order.
-func dropID(ns []engine.Neighbor, id int) []engine.Neighbor {
-	for i, nb := range ns {
-		if nb.ID == id {
-			return append(ns[:i], ns[i+1:]...)
-		}
-	}
-	return ns
 }
 
 // sortNeighbors orders merged results by decreasing similarity with ties
@@ -504,6 +553,13 @@ func (s *Sharded) Kernel() kernel.Kernel { return s.engines[0].Kernel() }
 // SketchConfig reports the shared sketch configuration of the shards.
 func (s *Sharded) SketchConfig() (dim int, seed uint64, enabled bool) {
 	return s.engines[0].SketchConfig()
+}
+
+// ANNConfig reports the shared ANN banding configuration of the shards
+// (every shard engine is built from the same Options, so one answer covers
+// all of them).
+func (s *Sharded) ANNConfig() (bands, rows int, enabled bool) {
+	return s.engines[0].ANNConfig()
 }
 
 // Len returns the number of live entries across all shards.

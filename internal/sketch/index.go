@@ -7,13 +7,13 @@ import (
 	"sync"
 )
 
-// Index is a flat in-memory sketch index: one fixed-width vector per
-// integer id, scanned linearly on search. For the corpus sizes one engine
-// shard holds, a contiguous scan of unit vectors is both simpler and
-// faster than tree- or graph-based ANN structures, and it is exact with
-// respect to the sketch scores — the only approximation in the pipeline
-// stays the sketch itself. Later sharding/ANN layers can replace this
-// behind the same interface.
+// Index is an in-memory sketch index: one fixed-width vector per integer
+// id. A flat index (NewIndex) scans every live vector on search and is
+// exact with respect to the sketch scores — the only approximation in the
+// pipeline stays the sketch itself. A banded index (NewIndexANN) adds an
+// LSH candidate structure so search touches only the vectors sharing a
+// band signature with the query, falling back to the flat scan whenever
+// exactness requires it.
 //
 // All methods are safe for concurrent use.
 type Index struct {
@@ -21,6 +21,7 @@ type Index struct {
 	dim  int
 	vecs [][]float64 // id-indexed; nil = never added or removed
 	live int
+	ann  *annState // nil = flat index
 }
 
 // Candidate is one search result: an id and its sketch score (the cosine
@@ -30,7 +31,7 @@ type Candidate struct {
 	Score float64
 }
 
-// NewIndex returns an empty index for vectors of the given width.
+// NewIndex returns an empty flat index for vectors of the given width.
 func NewIndex(dim int) *Index {
 	if dim <= 0 {
 		dim = DefaultDim
@@ -55,27 +56,28 @@ func (ix *Index) Size() int {
 	return len(ix.vecs)
 }
 
+func errVecWidth(got, want int) error {
+	return fmt.Errorf("sketch: vector of width %d in index of width %d", got, want)
+}
+
+func errNegID(id int) error { return fmt.Errorf("sketch: negative id %d", id) }
+
+func errDupID(id int) error { return fmt.Errorf("sketch: id %d already indexed", id) }
+
 // Add stores vec under id, growing the id space as needed. The slice is
 // retained, not copied; callers must not mutate it afterwards. Replacing a
-// live id is an error — engine ids are never reused.
+// live id is an error — engine ids are never reused. On a banded index the
+// signature and quantized copy are derived here.
 func (ix *Index) Add(id int, vec []float64) error {
 	if len(vec) != ix.dim {
-		return fmt.Errorf("sketch: vector of width %d in index of width %d", len(vec), ix.dim)
+		return errVecWidth(len(vec), ix.dim)
 	}
 	if id < 0 {
-		return fmt.Errorf("sketch: negative id %d", id)
+		return errNegID(id)
 	}
 	ix.mu.Lock()
 	defer ix.mu.Unlock()
-	for id >= len(ix.vecs) {
-		ix.vecs = append(ix.vecs, nil)
-	}
-	if ix.vecs[id] != nil {
-		return fmt.Errorf("sketch: id %d already indexed", id)
-	}
-	ix.vecs[id] = vec
-	ix.live++
-	return nil
+	return ix.addLocked(id, vec, nil)
 }
 
 // Remove tombstones id. Removing an absent id is a no-op returning false.
@@ -87,6 +89,7 @@ func (ix *Index) Remove(id int) bool {
 	}
 	ix.vecs[id] = nil
 	ix.live--
+	ix.removeANNLocked(id)
 	return true
 }
 
@@ -101,13 +104,21 @@ func (ix *Index) Vec(id int) []float64 {
 	return ix.vecs[id]
 }
 
-// Search scans every live vector and returns the k highest-scoring ids by
-// dot product with q (the sketch cosine, on unit vectors), in decreasing
-// score order with ties broken by ascending id. k < 0 returns all live
-// entries. exclude (if >= 0) is skipped — callers pass the query's own id.
+// Search returns the k highest-scoring ids by dot product with q (the
+// sketch cosine, on unit vectors), in decreasing score order with ties
+// broken by ascending id. k < 0 returns all live entries. exclude (if
+// >= 0) is skipped — callers pass the query's own id. On a flat index this
+// scans every live vector; on a banded index it scans the LSH candidate
+// pool (see NewIndexANN for the exactness fallbacks). Callers issuing the
+// same query against several same-config indexes should prepare it once
+// (PrepareQuery) and use SearchQuery.
 func (ix *Index) Search(q []float64, k, exclude int) []Candidate {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
+	return ix.SearchQuery(ix.PrepareQuery(q), k, exclude)
+}
+
+// searchFlatLocked is the exact linear scan under the already-held read
+// lock.
+func (ix *Index) searchFlatLocked(q []float64, k, exclude int) []Candidate {
 	out := make([]Candidate, 0, ix.live)
 	for id, vec := range ix.vecs {
 		if vec == nil || id == exclude {
@@ -115,23 +126,31 @@ func (ix *Index) Search(q []float64, k, exclude int) []Candidate {
 		}
 		out = append(out, Candidate{ID: id, Score: Dot(q, vec)})
 	}
-	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Score != out[b].Score {
-			return out[a].Score > out[b].Score
-		}
-		return out[a].ID < out[b].ID
-	})
+	sortCandidates(out)
 	if k >= 0 && k < len(out) {
 		out = out[:k]
 	}
 	return out
 }
 
+// sortCandidates orders by decreasing score, ties by ascending id — the
+// one ordering every search path shares.
+func sortCandidates(out []Candidate) {
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Score != out[b].Score {
+			return out[a].Score > out[b].Score
+		}
+		return out[a].ID < out[b].ID
+	})
+}
+
 // Equal reports whether two indexes hold bit-identical state: same width,
-// same id space, same tombstones, and per-id vectors equal bit for bit
-// (NaNs compare by bit pattern, so even those would have to match). Tests
-// use it to assert that incremental, batch, and recovered engines build
-// the same index.
+// same id space, same tombstones, per-id vectors equal bit for bit (NaNs
+// compare by bit pattern, so even those would have to match), and — for
+// banded indexes — the same ANN configuration and per-id band signatures.
+// Bucket layout is not compared: it varies with insertion order but never
+// affects results. Tests use Equal to assert that incremental, batch, and
+// recovered engines build the same index.
 func (ix *Index) Equal(o *Index) bool {
 	if ix == nil || o == nil {
 		return ix == o
@@ -151,6 +170,31 @@ func (ix *Index) Equal(o *Index) bool {
 		for i, v := range vec {
 			if math.Float64bits(v) != math.Float64bits(ov[i]) {
 				return false
+			}
+		}
+	}
+	if (ix.ann == nil) != (o.ann == nil) {
+		return false
+	}
+	if a, b := ix.ann, o.ann; a != nil {
+		if a.bands != b.bands || a.rows != b.rows || a.seed != b.seed {
+			return false
+		}
+		for id := range ix.vecs {
+			var as, bs []uint64
+			if id < len(a.sigs) {
+				as = a.sigs[id]
+			}
+			if id < len(b.sigs) {
+				bs = b.sigs[id]
+			}
+			if len(as) != len(bs) {
+				return false
+			}
+			for i, w := range as {
+				if w != bs[i] {
+					return false
+				}
 			}
 		}
 	}

@@ -1,33 +1,22 @@
-// Package sketch embeds weighted strings into fixed-width vectors so
-// similarity queries can be answered approximately in O(dim) per corpus
-// entry instead of one kernel evaluation each.
-//
-// The embedding is the classic hashed feature map ("feature hashing" /
-// signed random projections, in the spirit of Tabei et al.'s space-
-// efficient feature maps for alignment kernels and Wu et al.'s random
-// features for global string kernels): every substring feature the string
-// kernels in this project extract is hashed to one of Dim buckets with a
-// pseudo-random sign, and its feature value is accumulated there. The dot
-// product of two sketches is then an unbiased estimate of the inner
-// product of the underlying feature vectors, so the cosine of two sketches
-// tracks the cosine-normalised kernel value. The estimate is only used to
-// shortlist candidates; callers rerank the shortlist with the exact kernel
-// (see engine.SimilarApprox), which restores exact top-k results whenever
-// the shortlist covers them.
-//
-// Everything here is deterministic in (input, Options): the same string
-// sketched twice, on any machine, in any corpus, yields bit-identical
-// vectors. That is what lets the engine rebuild its sketch index
-// bit-identically from a WAL replay and lets snapshots persist raw vector
-// bits.
 package sketch
 
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"iokast/internal/token"
 )
+
+// sketchOps counts every vector embedding computed process-wide. One
+// atomic add against microseconds of hashing is free; it lets regression
+// tests assert that query paths embed exactly once (the sharded fan-out
+// must not re-sketch a query per shard).
+var sketchOps atomic.Uint64
+
+// SketchOps returns the cumulative number of Sketch/SketchFeatures calls
+// in this process. Tests diff it around an operation to count embeddings.
+func SketchOps() uint64 { return sketchOps.Load() }
 
 // Defaults for Options.
 const (
@@ -95,6 +84,7 @@ func (s *Sketcher) Seed() uint64 { return s.seed }
 // recall. The result has unit L2 norm (zero for degenerate inputs), so
 // the dot product of two sketches is their cosine.
 func (s *Sketcher) Sketch(x token.String) []float64 {
+	sketchOps.Add(1)
 	vec := make([]float64, s.dim)
 	n := len(x)
 	// Per-token literal hashes and prefix weights; the substring hash is a
@@ -131,6 +121,7 @@ func (s *Sketcher) Sketch(x token.String) []float64 {
 // would break the bit-identical determinism the engine's persistence
 // relies on.
 func (s *Sketcher) SketchFeatures(feats map[string]float64) []float64 {
+	sketchOps.Add(1)
 	vec := make([]float64, s.dim)
 	keys := make([]string, 0, len(feats))
 	for k := range feats {

@@ -1,17 +1,3 @@
-// Package store persists the incremental Gram engine: an append-only,
-// CRC-checked write-ahead log of canonicalized traces plus periodic binary
-// snapshots of the full engine state, committed with atomic renames. A
-// killed process restarts into a bit-identical engine by restoring the
-// newest snapshot and replaying only the log records after it.
-//
-// Durability contract: a mutation is durable once the engine call that
-// performed it returns — the log record is appended, flushed, and (unless
-// Options.NoSync) fsynced under the engine's write lock, before the
-// in-memory state changes. A crash may preserve a mutation that was never
-// acknowledged (record written, response lost), but never loses one that
-// was. Batched ingestion (Engine.AddBatch) pays one record and one fsync
-// per batch, which is the point: per-trace fsync is the dominant cost of
-// durable single-trace Adds.
 package store
 
 import (
