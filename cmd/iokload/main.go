@@ -59,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		arrival  = flags.String("arrival", "poisson", "arrival process: constant, poisson, or gamma")
 		shape    = flags.Float64("shape", 0, "gamma shape parameter (gamma only; 0 = default 0.5)")
 		periods  = flags.String("periods", "", "bursty rate cycle for gamma arrivals, e.g. 200ms*4,800ms*0.25")
-		mix      = flags.String("mix", "ingest=2,batch=0.5,similar_id=3,similar_trace=2,classify=2,delete=0.5", "op mix weights (op=weight,...)")
+		mix      = flags.String("mix", "ingest=2,batch=0.5,similar_id=3,similar_trace=2,classify=2,delete=0.5,stream=1", "op mix weights (op=weight,...)")
 		seed     = flags.Uint64("seed", 1, "run seed; the same seed always produces the same schedule")
 		prefill  = flags.Int("prefill", 64, "traces ingested and labelled before the timed run")
 		batch    = flags.Int("batch", 0, "traces per batch request (0 = default 4)")

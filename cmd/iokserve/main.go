@@ -35,6 +35,7 @@
 //	         [-nosync] [-sketch-dim 256] [-sketch-seed 0]
 //	         [-ann-bands 16] [-ann-rows 8]
 //	         [-shards 1] [-shard-seed 0] [-labels FILE]
+//	         [-stream-window 256] [-stream-stride 64] [-max-sessions 1024]
 //
 // Endpoints:
 //
@@ -57,6 +58,11 @@
 //	                         classify a trace body by similarity-weighted
 //	                         k-NN vote over the labelled corpus; returns
 //	                         {label, confidence, votes, neighbors}
+//	POST   /ingest?k=&rerank=R
+//	                         streaming ingest: NDJSON events (raw syscall ops
+//	                         or strace lines) assembled into per-session
+//	                         traces; window classifications and the final
+//	                         whole-trace verdict stream back as NDJSON
 //	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
 //	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
 //	GET    /healthz          liveness probe; "degraded" if persistence fails
@@ -85,6 +91,7 @@ import (
 	"iokast/internal/shard"
 	"iokast/internal/sketch"
 	"iokast/internal/store"
+	"iokast/internal/stream"
 )
 
 // listenAndAnnounce binds addr and prints one machine-parsable readiness
@@ -119,6 +126,9 @@ func main() {
 	shards := flag.Int("shards", 1, "number of corpus shards (1 = classic single engine, byte-compatible with existing data dirs)")
 	shardSeed := flag.Uint64("shard-seed", 0, "seed for the id-routing hash (pinned by a sharded data dir's MANIFEST)")
 	labelsPath := flag.String("labels", "", "labels file for /classify (default <data-dir>/LABELS when -data-dir is set; in-memory otherwise)")
+	streamWindow := flag.Int("stream-window", stream.DefaultWindow, "streaming ingest: classification window in operations")
+	streamStride := flag.Int("stream-stride", stream.DefaultStride, "streaming ingest: operations between window classifications")
+	maxSessions := flag.Int("max-sessions", stream.DefaultMaxSessions, "streaming ingest: maximum concurrently assembling sessions")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -209,7 +219,19 @@ func main() {
 		srv = serve.New(eng, st, reg, core.Options{IgnoreBytes: *noBytes})
 	}
 
-	httpSrv := &http.Server{Handler: srv}
+	srv.ConfigureStream(stream.Config{
+		Window: *streamWindow, Stride: *streamStride, MaxSessions: *maxSessions,
+	})
+
+	// No ReadTimeout: /ingest requests legitimately live as long as the
+	// workload they stream, and the handler heartbeats its own per-event
+	// read deadline instead. Slow-header and idle keep-alive connections
+	// are still bounded, so a slowloris cannot pin accept slots for free.
+	httpSrv := &http.Server{
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ln, err := listenAndAnnounce(*addr, os.Stdout)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iokserve: %v\n", err)

@@ -12,7 +12,9 @@ import (
 	"iokast"
 	"iokast/internal/classify"
 	"iokast/internal/core"
+	"iokast/internal/engine"
 	"iokast/internal/iofs"
+	"iokast/internal/stream"
 	"iokast/internal/trace"
 )
 
@@ -86,4 +88,46 @@ func main() {
 	for _, m := range matches[:3] {
 		fmt.Printf("  %-10s %-3s similarity %.4f\n", ds.Traces[m.Index].Name, m.Label, m.Similarity)
 	}
+
+	// 4. Replay the capture through the streaming path — the live form of
+	// the same application: operations arrive one at a time (as POST
+	// /ingest would deliver them), a sliding window is classified as the
+	// workload runs, and the final whole-trace verdict matches the batch
+	// answer above.
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}})
+	if _, err := eng.AddBatch(refs); err != nil {
+		log.Fatal(err)
+	}
+	reg := classify.NewRegistry()
+	assign := make(map[int]string, len(ds.Labels))
+	for i, l := range ds.Labels {
+		assign[i] = l
+	}
+	if err := reg.SetLabels(assign); err != nil {
+		log.Fatal(err)
+	}
+	sessions := stream.NewRegistry(stream.Config{
+		Window: 1024, Stride: 512,
+		Classifier: classify.NewOnline(eng, reg),
+	})
+	sess, err := sessions.Get(captured.Name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nstreaming the same capture live:")
+	for _, op := range captured.Ops {
+		res, err := sess.Feed(stream.Event{Op: op.Name, Handle: op.Handle, Bytes: op.Bytes, Addr: op.Addr, Path: op.Path}, 3, -1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res != nil && !res.Cached {
+			fmt.Printf("  after %5d ops: window looks like %s (confidence %.3f)\n", res.Ops, res.Label, res.Confidence)
+		}
+	}
+	final, err := sess.Finish(3, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed final verdict: %s (confidence %.3f), matches batch classification: %v\n",
+		final.Label, final.Confidence, final.Label == label)
 }

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"iokast/internal/iogen"
+	"iokast/internal/stream"
+	"iokast/internal/trace"
 	"iokast/internal/xrand"
 )
 
@@ -24,10 +26,11 @@ const (
 	OpSimilarTrace Op = "similar_trace" // POST /similar (query-by-trace)
 	OpClassify     Op = "classify"      // POST /classify
 	OpDelete       Op = "delete"        // DELETE /traces/{id}
+	OpStream       Op = "stream"        // POST /ingest (streaming NDJSON events)
 )
 
 // Ops lists every known op in a fixed order.
-var Ops = []Op{OpIngest, OpBatch, OpSimilarID, OpSimilarTrace, OpClassify, OpDelete}
+var Ops = []Op{OpIngest, OpBatch, OpSimilarID, OpSimilarTrace, OpClassify, OpDelete, OpStream}
 
 // Endpoint returns the metrics/SLO label for the op: the HTTP method
 // plus the URL path pattern it hits.
@@ -45,6 +48,8 @@ func (o Op) Endpoint() string {
 		return "POST /classify"
 	case OpDelete:
 		return "DELETE /traces/{id}"
+	case OpStream:
+		return "POST /ingest"
 	}
 	return string(o)
 }
@@ -265,6 +270,10 @@ func (c *clientSchedule) next(t time.Duration) Request {
 	case OpDelete:
 		req.Method = "DELETE"
 		req.Path = fmt.Sprintf("/traces/%d", c.nextDeleteID())
+	case OpStream:
+		body, _ := c.bodies.Next()
+		req.Method, req.Body = "POST", StreamBody(body)
+		req.Path = fmt.Sprintf("/ingest?k=%d", c.spec.K)
 	}
 	return req
 }
@@ -306,6 +315,26 @@ func (c *clientSchedule) nextDeleteID() int {
 	id := lo + (c.client+c.deleted*c.spec.Clients)%pool
 	c.deleted++
 	return id
+}
+
+// StreamBody converts one canonical trace text into the NDJSON event body
+// POST /ingest accepts: one structured op event per line, no session name
+// (the server's anonymous per-connection session finalises at EOF with the
+// whole-trace classification).
+func StreamBody(text string) string {
+	tr, err := trace.ParseString(text)
+	if err != nil {
+		// Body generators only emit canonical text; an empty event stream is
+		// still a valid (empty) /ingest request if that ever changes.
+		return ""
+	}
+	var b strings.Builder
+	for _, op := range tr.Ops {
+		line, _ := json.Marshal(stream.Event{Op: op.Name, Handle: op.Handle, Bytes: op.Bytes, Addr: op.Addr, Path: op.Path})
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // PrefillBodies synthesizes the prefill corpus: Prefill traces with

@@ -25,6 +25,7 @@ func mixedSpec(seed uint64) Spec {
 			{Op: OpSimilarTrace, Weight: 2},
 			{Op: OpClassify, Weight: 2},
 			{Op: OpDelete, Weight: 0.5},
+			{Op: OpStream, Weight: 1},
 		},
 		Seed:    seed,
 		Prefill: 16,
@@ -112,6 +113,13 @@ func TestBuildScheduleShape(t *testing.T) {
 			}
 			if err := json.Unmarshal([]byte(r.Body), &batch); err != nil || len(batch.Traces) != 4 {
 				t.Fatalf("bad batch body (%v): %.80q", err, r.Body)
+			}
+		case OpStream:
+			if !strings.HasPrefix(r.Path, "/ingest?") {
+				t.Fatalf("bad stream path %q", r.Path)
+			}
+			if !strings.Contains(r.Body, `"op":`) || !strings.HasSuffix(r.Body, "\n") {
+				t.Fatalf("stream body is not NDJSON events: %.80q", r.Body)
 			}
 		}
 	}

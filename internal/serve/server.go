@@ -15,6 +15,7 @@ import (
 	"iokast/internal/linalg"
 	"iokast/internal/shard"
 	"iokast/internal/store"
+	"iokast/internal/stream"
 	"iokast/internal/token"
 	"iokast/internal/trace"
 )
@@ -59,6 +60,11 @@ type Server struct {
 	cls  *classify.Online
 	copt core.Options
 	mux  *http.ServeMux
+
+	// streams holds the in-flight streaming-ingest sessions (POST /ingest).
+	// Built with defaults in finish; ConfigureStream swaps in tuned bounds
+	// before the server starts accepting requests.
+	streams *stream.Registry
 }
 
 // New serves a single-engine corpus; st may be nil for an in-memory
@@ -83,6 +89,7 @@ func (s *Server) finish(reg *classify.Registry) {
 		reg = classify.NewRegistry()
 	}
 	s.cls = classify.NewOnline(s.c, reg)
+	s.streams = stream.NewRegistry(stream.Config{Classifier: s.cls, Convert: s.copt})
 	s.routes()
 }
 
@@ -95,6 +102,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/labels", s.handleLabels)
 	s.mux.HandleFunc("/labels/", s.handleLabelByID)
 	s.mux.HandleFunc("/classify", s.handleClassify)
+	s.mux.HandleFunc("/ingest", s.handleIngest)
 	s.mux.HandleFunc("/gram", s.handleGram)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
@@ -545,7 +553,10 @@ func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	resp := map[string]any{"status": "ok", "traces": s.c.Len()}
+	// The health probe doubles as the idle sweep's clock: scrape /healthz
+	// and abandoned streaming sessions free their slots on schedule.
+	s.streams.EvictIdle()
+	resp := map[string]any{"status": "ok", "traces": s.c.Len(), "stream_sessions": s.streams.Len()}
 	if bands, rows, enabled := s.c.ANNConfig(); enabled {
 		resp["ann_bands"] = bands
 		resp["ann_rows"] = rows

@@ -1,0 +1,76 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"iokast/internal/classify"
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/iogen"
+	"iokast/internal/xrand"
+)
+
+// benchClassifier labels a generated corpus across the paper's synthetic
+// categories, mirroring the classify benchmarks.
+func benchClassifier(b *testing.B, perCat int) *classify.Online {
+	b.Helper()
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 4})
+	reg := classify.NewRegistry()
+	r := xrand.New(0xbeef)
+	assign := map[int]string{}
+	for ci, cat := range iogen.Categories {
+		for i := 0; i < perCat; i++ {
+			tr, err := iogen.Generate(cat, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			id := eng.Add(core.Convert(tr, core.Options{}))
+			assign[id] = fmt.Sprintf("family-%d", ci)
+		}
+	}
+	if err := reg.SetLabels(assign); err != nil {
+		b.Fatal(err)
+	}
+	return classify.NewOnline(eng, reg)
+}
+
+// BenchmarkStreamWindowClassify measures the steady-state per-event cost
+// of the streaming path: incremental sketch append/evict on every op plus
+// a window classification (or a gate-cached re-emit) every stride.
+func BenchmarkStreamWindowClassify(b *testing.B) {
+	cls := benchClassifier(b, 8)
+	// A mildly non-stationary event stream so the epsilon gate is exercised
+	// but not always taken.
+	r := xrand.New(0x5eed)
+	src, err := iogen.Generate(iogen.CatNormal, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	events := make([]Event, len(src.Ops))
+	for i, op := range src.Ops {
+		events[i] = Event{Op: op.Name, Handle: op.Handle, Bytes: op.Bytes, Addr: op.Addr}
+	}
+	reg := NewRegistry(Config{Window: 128, Stride: 16, MaxOps: 1 << 30, Classifier: cls})
+	s, err := reg.Get("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime past the first window so b.N iterations measure steady state.
+	for _, ev := range events {
+		if _, err := s.Feed(ev, 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Feed(events[i%len(events)], 5, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if s.Ops() != len(events)+b.N {
+		b.Fatalf("assembled %d ops", s.Ops())
+	}
+}

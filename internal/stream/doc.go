@@ -1,0 +1,35 @@
+// Package stream is the live-ingest path: raw syscall events arrive one
+// NDJSON line at a time (structured events or raw strace lines), are
+// assembled server-side into canonical traces per session, and sliding
+// windows of each in-flight session are classified against the labelled
+// corpus — "this job looks like a checkpointer right now" — while the
+// job is still running.
+//
+// The pipeline per session is event -> op -> window -> classify:
+//
+//   - An Event is either a structured operation ({"op": "write",
+//     "handle": 3, "bytes": 32768}), a raw capture line ({"line":
+//     "12:34:56 write(3, ...) = 32768"}) fed through the streaming
+//     strace parser (trace.LineParser, which re-pairs unfinished/resumed
+//     halves per PID), or an end marker requesting the final
+//     classification.
+//   - Completed operations append to the session's assembled trace and
+//     to an incremental sliding-window sketch (sketch.Accum): O(MaxLen)
+//     work per op instead of re-embedding the window from scratch.
+//   - Every Stride ops the window is classified. The accumulated sketch
+//     gates the work: when the window's embedding is within Epsilon
+//     (cosine) of the last classified window, the previous result is
+//     re-emitted with Cached set and no re-embedding or kernel work
+//     happens — a stationary workload costs O(delta) per tick, not
+//     O(window).
+//   - Finish classifies the entire assembled trace through exactly the
+//     batch path (core.Convert + classify.Online.Classify), so a
+//     streamed trace's final classification is bit-identical to POSTing
+//     the assembled trace to /classify, at any shard count.
+//
+// Sessions are bounded three ways — a registry-wide session cap, a
+// per-session op cap, and idle eviction — so an open firehose cannot
+// grow server memory without limit. See docs/ARCHITECTURE.md for the
+// data-flow diagram and internal/serve for the HTTP surface
+// (POST /ingest).
+package stream

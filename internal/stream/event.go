@@ -1,0 +1,98 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"unicode/utf8"
+
+	"iokast/internal/trace"
+)
+
+// Event is one NDJSON ingest line. Exactly one of the three forms must be
+// present:
+//
+//	{"session": "job-42", "op": "write", "handle": 3, "bytes": 32768}
+//	{"session": "job-42", "line": "write(3, \"...\", 32768) = 32768"}
+//	{"session": "job-42", "end": true}
+//
+// The op form maps directly onto one trace operation. The line form is a
+// raw strace capture line, decorations and all; it may complete zero ops
+// (noise, the unfinished half of a split call) or one. The end form asks
+// for the session's final whole-trace classification and releases it.
+//
+// Session names a server-side assembly session so one connection can
+// interleave several jobs (and a job can span connections). An empty
+// session is the connection's own anonymous session, finalised when the
+// request body ends.
+type Event struct {
+	Session string `json:"session,omitempty"`
+	Op      string `json:"op,omitempty"`
+	Handle  int    `json:"handle,omitempty"`
+	Bytes   int64  `json:"bytes,omitempty"`
+	Addr    uint64 `json:"addr,omitempty"`
+	Path    string `json:"path,omitempty"`
+	Line    string `json:"line,omitempty"`
+	End     bool   `json:"end,omitempty"`
+}
+
+// MaxSessionName bounds the session identifier length.
+const MaxSessionName = 128
+
+// ParseEvent decodes and validates one NDJSON event line.
+func ParseEvent(b []byte) (Event, error) {
+	var ev Event
+	if err := json.Unmarshal(b, &ev); err != nil {
+		return Event{}, fmt.Errorf("stream: bad event JSON: %v", err)
+	}
+	if err := ev.Validate(); err != nil {
+		return Event{}, err
+	}
+	return ev, nil
+}
+
+// Validate checks the event's form: exactly one of op/line/end, sane
+// numeric fields, and a well-formed session name.
+func (ev Event) Validate() error {
+	forms := 0
+	if ev.Op != "" {
+		forms++
+	}
+	if ev.Line != "" {
+		forms++
+	}
+	if ev.End {
+		forms++
+	}
+	if forms == 0 {
+		return fmt.Errorf(`stream: event carries none of "op", "line", "end"`)
+	}
+	if forms > 1 {
+		return fmt.Errorf(`stream: event mixes "op", "line" and/or "end"; send one per event`)
+	}
+	if ev.Op != "" {
+		if ev.Handle < 0 {
+			return fmt.Errorf("stream: negative handle %d", ev.Handle)
+		}
+		if ev.Bytes < 0 {
+			return fmt.Errorf("stream: negative byte count %d", ev.Bytes)
+		}
+	}
+	if len(ev.Session) > MaxSessionName {
+		return fmt.Errorf("stream: session name exceeds %d bytes", MaxSessionName)
+	}
+	if !utf8.ValidString(ev.Session) {
+		return fmt.Errorf("stream: session name is not valid UTF-8")
+	}
+	for _, c := range ev.Session {
+		if c < 0x20 || c == 0x7f {
+			return fmt.Errorf("stream: session name contains control characters")
+		}
+	}
+	return nil
+}
+
+// op converts a structured event into its trace operation. Only valid on
+// the op form.
+func (ev Event) op() trace.Op {
+	return trace.Op{Name: ev.Op, Handle: ev.Handle, Bytes: ev.Bytes, Addr: ev.Addr, Path: ev.Path}
+}

@@ -1,0 +1,57 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+)
+
+var fuzzSession struct {
+	once sync.Once
+	s    *Session
+	mu   sync.Mutex
+}
+
+// FuzzStreamEvent hammers the ingest boundary: arbitrary bytes must never
+// panic ParseEvent, anything it accepts must re-validate, and feeding the
+// accepted event through a live session (line parsing, incremental sketch,
+// windowed classification) must not panic either.
+func FuzzStreamEvent(f *testing.F) {
+	f.Add([]byte(`{"op":"write","handle":3,"bytes":32768}`))
+	f.Add([]byte(`{"op":"open","handle":3,"path":"chk.h5"}`))
+	f.Add([]byte(`{"session":"job-42","op":"read","handle":5,"bytes":4096}`))
+	f.Add([]byte(`{"line":"12:34:56.789012 write(3, \"...\", 32768) = 32768 <0.000042>"}`))
+	f.Add([]byte(`{"line":"[pid 99] read(3,  <unfinished ...>"}`))
+	f.Add([]byte(`{"line":"<... read resumed> \"\", 4096) = 4096"}`))
+	f.Add([]byte(`{"end":true,"session":"job-42"}`))
+	f.Add([]byte(`{"op":"mmap","addr":139637976727552,"bytes":8192}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ev, err := ParseEvent(data)
+		if err != nil {
+			return
+		}
+		if verr := ev.Validate(); verr != nil {
+			t.Fatalf("ParseEvent accepted an event Validate rejects: %v (%q)", verr, data)
+		}
+		if ev.End {
+			return
+		}
+		fuzzSession.once.Do(func() {
+			reg := NewRegistry(Config{
+				Window: 32, Stride: 8, MaxOps: 1 << 16,
+				Classifier: newTestClassifier(t),
+			})
+			s, err := reg.Get("fuzz")
+			if err != nil {
+				t.Fatalf("fuzz session: %v", err)
+			}
+			fuzzSession.s = s
+		})
+		fuzzSession.mu.Lock()
+		defer fuzzSession.mu.Unlock()
+		// Feed errors (parse failures, op cap) are fine; panics are not.
+		_, _ = fuzzSession.s.Feed(ev, 3, 0)
+	})
+}

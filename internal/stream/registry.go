@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry owns the in-flight sessions: bounded creation, lookup, and
+// idle eviction. It is safe for concurrent use.
+type Registry struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// NewRegistry builds a registry over the config (defaults applied).
+// Config.Classifier must be set.
+func NewRegistry(cfg Config) *Registry {
+	if cfg.Classifier == nil {
+		panic("stream: NewRegistry without a classifier")
+	}
+	return &Registry{cfg: cfg.withDefaults(), sessions: make(map[string]*Session)}
+}
+
+// Config returns the registry's effective (default-applied) config.
+func (r *Registry) Config() Config { return r.cfg }
+
+// Len returns the number of live sessions.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.sessions)
+}
+
+// Get returns the named session, creating it if absent. Creation first
+// sweeps idle sessions, then enforces MaxSessions: a full registry
+// refuses new sessions rather than evicting live ones (the caller maps
+// this to HTTP 503).
+func (r *Registry) Get(name string) (*Session, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sessions[name]; ok {
+		return s, nil
+	}
+	r.evictIdleLocked()
+	if len(r.sessions) >= r.cfg.MaxSessions {
+		return nil, fmt.Errorf("stream: session limit reached (%d in flight); retry after idle sessions expire", r.cfg.MaxSessions)
+	}
+	s := newSession(name, &r.cfg)
+	r.sessions[name] = s
+	return s, nil
+}
+
+// Remove drops a session (after Finish, or on a fatal feed error).
+func (r *Registry) Remove(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sessions, name)
+}
+
+// EvictIdle sweeps sessions idle longer than IdleTTL and reports how
+// many were dropped. Get runs the same sweep before refusing a new
+// session, so an abandoned firehose frees its slot on the next demand.
+func (r *Registry) EvictIdle() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictIdleLocked()
+}
+
+func (r *Registry) evictIdleLocked() int {
+	cutoff := r.cfg.now().Add(-r.cfg.IdleTTL)
+	n := 0
+	for name, s := range r.sessions {
+		if s.idleSince().Before(cutoff) {
+			delete(r.sessions, name)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"iokast/internal/classify"
+	"iokast/internal/core"
+	"iokast/internal/sketch"
+	"iokast/internal/token"
+	"iokast/internal/trace"
+)
+
+// Defaults for Config.
+const (
+	// DefaultWindow is the classification window in operations.
+	DefaultWindow = 256
+	// DefaultStride is how many completed operations pass between window
+	// classifications.
+	DefaultStride = 64
+	// DefaultMaxOps bounds one session's assembled trace.
+	DefaultMaxOps = 1 << 20
+	// DefaultMaxSessions bounds the registry.
+	DefaultMaxSessions = 1024
+	// DefaultIdleTTL evicts sessions that have not seen an event for this
+	// long.
+	DefaultIdleTTL = 5 * time.Minute
+	// DefaultEpsilon is the re-embed gate: a window whose incremental
+	// sketch stays within this cosine distance of the last classified
+	// window re-emits the previous result instead of re-embedding.
+	DefaultEpsilon = 0.005
+)
+
+// Config wires a session registry to a classifier. The zero value of
+// every bound picks its default; Epsilon < 0 disables the re-embed gate
+// (every tick classifies in full).
+type Config struct {
+	// Window is the classification window, in completed operations.
+	Window int
+	// Stride is how many completed operations pass between window
+	// classifications.
+	Stride int
+	// MaxOps bounds one session's assembled trace; a session exceeding
+	// it is terminated with ErrSessionFull.
+	MaxOps int
+	// MaxSessions bounds concurrently assembling sessions.
+	MaxSessions int
+	// IdleTTL evicts sessions with no events for this long.
+	IdleTTL time.Duration
+	// Epsilon is the re-embed gate width (cosine distance); 0 means
+	// DefaultEpsilon, negative disables gating.
+	Epsilon float64
+	// Classifier answers the window and final classifications. Required.
+	Classifier *classify.Online
+	// Convert configures the trace -> weighted-string conversion; must
+	// match the server's ingest configuration for corpus-comparable
+	// classifications.
+	Convert core.Options
+	// Sketcher embeds windows for the re-embed gate; nil builds a
+	// default-width sketcher. The gate is internal to the session, so
+	// this does not need to match the corpus sketch configuration.
+	Sketcher *sketch.Sketcher
+	// now overrides time.Now for idle-eviction tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Stride <= 0 {
+		c.Stride = DefaultStride
+	}
+	if c.Stride > c.Window {
+		c.Stride = c.Window
+	}
+	if c.MaxOps <= 0 {
+		c.MaxOps = DefaultMaxOps
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.IdleTTL <= 0 {
+		c.IdleTTL = DefaultIdleTTL
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = DefaultEpsilon
+	}
+	if c.Sketcher == nil {
+		c.Sketcher = sketch.New(sketch.Options{})
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// ErrSessionFull reports a session that outgrew Config.MaxOps.
+var ErrSessionFull = fmt.Errorf("stream: session exceeds the buffered-operation limit")
+
+// Result is one classification emitted on a session's stream: a window
+// tick (every Stride completed ops) or the final whole-trace verdict.
+type Result struct {
+	// Session is the session the result belongs to.
+	Session string `json:"session"`
+	// Seq numbers this session's results from 1.
+	Seq int `json:"seq"`
+	// Ops is how many operations the session has assembled so far.
+	Ops int `json:"ops"`
+	// Window is how many of those the classified window covered (equal
+	// to Ops for a final result).
+	Window int `json:"window"`
+	// Final marks the whole-trace classification that ends a session.
+	Final bool `json:"final,omitempty"`
+	// Cached marks a tick that re-emitted the previous classification
+	// because the window's incremental sketch stayed within Epsilon of
+	// the last classified window — no re-embedding happened.
+	Cached bool `json:"cached,omitempty"`
+	// Label, Confidence and Votes mirror the /classify response.
+	Label      string          `json:"label"`
+	Confidence float64         `json:"confidence"`
+	Votes      []classify.Vote `json:"votes"`
+}
+
+// Session assembles one in-flight workload. All methods are safe for
+// concurrent use; a session serialises its own feeds, so two connections
+// streaming into one session interleave at event granularity.
+type Session struct {
+	name string
+	cfg  *Config
+
+	mu         sync.Mutex
+	lp         *trace.LineParser
+	ops        []trace.Op
+	accum      *sketch.Accum
+	sinceTick  int
+	seq        int
+	lastVec    []float64 // accum vector at the last full classification
+	lastRes    *Result   // last fully classified window result
+	lastActive time.Time
+	done       bool
+}
+
+func newSession(name string, cfg *Config) *Session {
+	return &Session{
+		name:       name,
+		cfg:        cfg,
+		lp:         trace.NewLineParser(),
+		accum:      cfg.Sketcher.NewAccum(),
+		lastActive: cfg.now(),
+	}
+}
+
+// Name returns the session identifier.
+func (s *Session) Name() string { return s.name }
+
+// Ops returns how many operations the session has assembled.
+func (s *Session) Ops() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ops)
+}
+
+// Feed consumes one event. It returns a non-nil Result when the event
+// crossed a stride boundary (a window classification) and nil otherwise.
+// k and rerank follow the /classify conventions.
+func (s *Session) Feed(ev Event, k, rerank int) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("stream: session %q already finished", s.name)
+	}
+	s.lastActive = s.cfg.now()
+
+	var op trace.Op
+	if ev.Line != "" {
+		var ok bool
+		var err error
+		op, ok, err = s.lp.Line(ev.Line)
+		if err != nil {
+			return nil, fmt.Errorf("stream: session %q: %v", s.name, err)
+		}
+		if !ok {
+			return nil, nil // noise or an unfinished half: no op yet
+		}
+	} else {
+		op = ev.op()
+	}
+
+	if len(s.ops) >= s.cfg.MaxOps {
+		return nil, fmt.Errorf("%w (%d ops); session %q dropped", ErrSessionFull, s.cfg.MaxOps, s.name)
+	}
+	s.ops = append(s.ops, op)
+	s.accum.Append(token.Token{Literal: token.OpLiteral(op.Name, op.Bytes), Weight: 1})
+	for s.accum.Len() > s.cfg.Window {
+		s.accum.Evict()
+	}
+	s.sinceTick++
+	if s.sinceTick < s.cfg.Stride {
+		return nil, nil
+	}
+	s.sinceTick = 0
+	return s.classifyWindowLocked(k, rerank)
+}
+
+// classifyWindowLocked classifies the trailing window, short-circuiting
+// through the re-embed gate when the incrementally maintained sketch says
+// the window still looks like the last one classified.
+func (s *Session) classifyWindowLocked(k, rerank int) (*Result, error) {
+	s.seq++
+	vec := s.accum.Vector()
+	if s.lastRes != nil && s.cfg.Epsilon > 0 && sketch.Dot(vec, s.lastVec) >= 1-s.cfg.Epsilon {
+		out := *s.lastRes
+		out.Seq = s.seq
+		out.Ops = len(s.ops)
+		out.Cached = true
+		return &out, nil
+	}
+	lo := len(s.ops) - s.cfg.Window
+	if lo < 0 {
+		lo = 0
+	}
+	window := s.ops[lo:]
+	sub := &trace.Trace{Name: s.name, Ops: window}
+	res, err := s.cfg.Classifier.Classify(core.Convert(sub, s.cfg.Convert), k, rerank)
+	if err != nil {
+		return nil, fmt.Errorf("stream: session %q: %w", s.name, err)
+	}
+	out := &Result{
+		Session: s.name, Seq: s.seq, Ops: len(s.ops), Window: len(window),
+		Label: res.Label, Confidence: res.Confidence, Votes: res.Votes,
+	}
+	s.lastVec = vec
+	s.lastRes = out
+	return out, nil
+}
+
+// Finish classifies the entire assembled trace — exactly the batch
+// /classify path over the same operations, so the result is bit-identical
+// to POSTing the assembled trace — and marks the session done.
+func (s *Session) Finish(k, rerank int) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil, fmt.Errorf("stream: session %q already finished", s.name)
+	}
+	s.done = true
+	whole := &trace.Trace{Name: s.name, Ops: s.ops}
+	res, err := s.cfg.Classifier.Classify(core.Convert(whole, s.cfg.Convert), k, rerank)
+	if err != nil {
+		return nil, fmt.Errorf("stream: session %q: %w", s.name, err)
+	}
+	s.seq++
+	return &Result{
+		Session: s.name, Seq: s.seq, Ops: len(s.ops), Window: len(s.ops), Final: true,
+		Label: res.Label, Confidence: res.Confidence, Votes: res.Votes,
+	}, nil
+}
+
+// idleSince reports the last event time.
+func (s *Session) idleSince() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastActive
+}

@@ -1,0 +1,343 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"iokast/internal/classify"
+	"iokast/internal/core"
+	"iokast/internal/engine"
+	"iokast/internal/sketch"
+	"iokast/internal/trace"
+)
+
+// Two small workload families: a checkpoint-style writer and a scanner.
+const writerTrace = `open fh=1
+write fh=1 bytes=32768
+write fh=1 bytes=32768
+write fh=1 bytes=32768
+write fh=1 bytes=16384
+close fh=1
+`
+
+const readerTrace = `open fh=1
+read fh=1 bytes=4096
+read fh=1 bytes=4096
+read fh=1 bytes=4096
+read fh=1 bytes=4096
+close fh=1
+`
+
+// newTestClassifier builds an in-memory labelled corpus: several writer
+// and reader traces, labelled "writer"/"reader".
+func newTestClassifier(t testing.TB) *classify.Online {
+	t.Helper()
+	eng := engine.New(engine.Options{Kernel: &core.Kast{CutWeight: 2}, Workers: 2})
+	reg := classify.NewRegistry()
+	assign := map[int]string{}
+	for i := 0; i < 3; i++ {
+		for _, body := range []string{writerTrace, readerTrace} {
+			tr, err := trace.ParseString(body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := eng.Add(core.Convert(tr, core.Options{}))
+			if body == writerTrace {
+				assign[id] = "writer"
+			} else {
+				assign[id] = "reader"
+			}
+		}
+	}
+	if err := reg.SetLabels(assign); err != nil {
+		t.Fatal(err)
+	}
+	return classify.NewOnline(eng, reg)
+}
+
+// writerEvents synthesizes n write-heavy structured events with the
+// open/close framing of writerTrace.
+func writerEvents(n int) []Event {
+	evs := []Event{{Op: "open", Handle: 1}}
+	for i := 0; i < n; i++ {
+		b := int64(32768)
+		if i%4 == 3 {
+			b = 16384
+		}
+		evs = append(evs, Event{Op: "write", Handle: 1, Bytes: b})
+	}
+	return append(evs, Event{Op: "close", Handle: 1})
+}
+
+func TestSessionWindowedClassification(t *testing.T) {
+	reg := NewRegistry(Config{
+		Window: 16, Stride: 4, Classifier: newTestClassifier(t),
+	})
+	s, err := reg.Get("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []*Result
+	for _, ev := range writerEvents(40) {
+		res, err := s.Feed(ev, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			results = append(results, res)
+		}
+	}
+	if len(results) < 5 {
+		t.Fatalf("only %d window results from 42 ops at stride 4", len(results))
+	}
+	for i, res := range results {
+		if res.Seq != i+1 {
+			t.Fatalf("result %d: seq %d", i, res.Seq)
+		}
+		if res.Label != "writer" {
+			t.Fatalf("window %d classified as %q (confidence %v), want writer", i, res.Label, res.Confidence)
+		}
+		if res.Window > 16 {
+			t.Fatalf("window %d spans %d ops, cap is 16", i, res.Window)
+		}
+	}
+	fin, err := s.Finish(3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fin.Final || fin.Label != "writer" || fin.Ops != 42 || fin.Window != 42 {
+		t.Fatalf("final = %+v", fin)
+	}
+	// A finished session refuses further traffic.
+	if _, err := s.Feed(Event{Op: "read", Handle: 1}, 3, -1); err == nil {
+		t.Fatal("feed after finish succeeded")
+	}
+}
+
+// TestFinishBitIdenticalToBatch is the acceptance property at package
+// level: the final classification of a streamed session equals running
+// the assembled trace through the batch classify path — same label, and
+// bit-identical confidence at full rerank.
+func TestFinishBitIdenticalToBatch(t *testing.T) {
+	cls := newTestClassifier(t)
+	for _, rerank := range []int{-1, 0, 1 << 20} {
+		reg := NewRegistry(Config{Window: 8, Stride: 4, Classifier: cls})
+		s, err := reg.Get(fmt.Sprintf("job-r%d", rerank))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var assembled []trace.Op
+		for _, ev := range writerEvents(20) {
+			if _, err := s.Feed(ev, 5, rerank); err != nil {
+				t.Fatal(err)
+			}
+			assembled = append(assembled, trace.Op{Name: ev.Op, Handle: ev.Handle, Bytes: ev.Bytes})
+		}
+		fin, err := s.Finish(5, rerank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch, err := cls.Classify(core.Convert(&trace.Trace{Ops: assembled}, core.Options{}), 5, rerank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.Label != batch.Label {
+			t.Fatalf("rerank %d: streamed %q vs batch %q", rerank, fin.Label, batch.Label)
+		}
+		if math.Float64bits(fin.Confidence) != math.Float64bits(batch.Confidence) {
+			t.Fatalf("rerank %d: confidence %v vs %v (not bit-identical)", rerank, fin.Confidence, batch.Confidence)
+		}
+	}
+}
+
+// TestSessionLineEvents drives a session with raw strace lines, including
+// the shapes the parser used to drop: timestamped, duration-suffixed, and
+// a split unfinished/resumed call.
+func TestSessionLineEvents(t *testing.T) {
+	reg := NewRegistry(Config{Window: 8, Stride: 2, Classifier: newTestClassifier(t)})
+	s, err := reg.Get("capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{
+		`open("chk.h5", O_WRONLY) = 3`,
+		`12:34:56.789012 write(3, "...", 32768) = 32768`,
+		`write(3, "...", 32768) = 32768 <0.000042>`,
+		`--- SIGCHLD {si_signo=SIGCHLD} ---`,
+		`write(3, " <unfinished ...>`,
+		`<... write resumed> ", 32768) = 32768`,
+		`1628773289.123456 write(3, "...", 16384) = 16384`,
+		`close(3) = 0`,
+	}
+	for _, l := range lines {
+		if _, err := s.Feed(Event{Line: l}, 3, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 8 lines, 1 noise, 2 halves of one call: 6 assembled ops.
+	if s.Ops() != 6 {
+		t.Fatalf("assembled %d ops, want 6", s.Ops())
+	}
+	fin, err := s.Finish(3, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.Label != "writer" {
+		t.Fatalf("capture classified as %q", fin.Label)
+	}
+}
+
+// TestCachedTicksSkipReembedding pins the O(delta) property: on a
+// stationary workload the incremental sketch gate re-emits the previous
+// result, and the process-wide embedding counter proves the skipped ticks
+// did no full re-embeds.
+func TestCachedTicksSkipReembedding(t *testing.T) {
+	reg := NewRegistry(Config{Window: 16, Stride: 4, Classifier: newTestClassifier(t)})
+	s, err := reg.Get("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past the first full classification.
+	var ticks, cached int
+	before := sketch.SketchOps()
+	for i := 0; i < 400; i++ {
+		res, err := s.Feed(Event{Op: "write", Handle: 1, Bytes: 32768}, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			ticks++
+			if res.Cached {
+				cached++
+			}
+		}
+	}
+	embeds := sketch.SketchOps() - before
+	if ticks < 90 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+	if cached < ticks-5 {
+		t.Fatalf("only %d/%d ticks were gate-cached on a stationary stream", cached, ticks)
+	}
+	// Each full classification costs a handful of embeddings (query prep);
+	// cached ticks must cost none, so the total stays far below one embed
+	// per tick.
+	if embeds > uint64(ticks-cached)*4+4 {
+		t.Fatalf("%d embeddings for %d ticks (%d cached): gate is not skipping re-embeds", embeds, ticks, cached)
+	}
+	// The gate must not survive a workload shift: flip to reads and the
+	// next tick reclassifies.
+	var shifted *Result
+	for i := 0; i < 32 && (shifted == nil || shifted.Cached); i++ {
+		shifted, err = s.Feed(Event{Op: "read", Handle: 1, Bytes: 4096}, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if shifted == nil || shifted.Cached {
+		t.Fatalf("workload shift never broke the gate: %+v", shifted)
+	}
+	// Once the window has fully turned over to reads the ticks settle on
+	// the reader label.
+	for i := 0; i < 64; i++ {
+		res, err := s.Feed(Event{Op: "read", Handle: 1, Bytes: 4096}, 3, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != nil {
+			shifted = res
+		}
+	}
+	if shifted.Label != "reader" {
+		t.Fatalf("post-shift window classified as %q", shifted.Label)
+	}
+}
+
+func TestSessionMaxOps(t *testing.T) {
+	reg := NewRegistry(Config{Window: 4, Stride: 2, MaxOps: 10, Classifier: newTestClassifier(t)})
+	s, err := reg.Get("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Feed(Event{Op: "write", Handle: 1, Bytes: 1}, 3, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Feed(Event{Op: "write", Handle: 1, Bytes: 1}, 3, -1); err == nil || !strings.Contains(err.Error(), "buffered-operation limit") {
+		t.Fatalf("11th op: err = %v", err)
+	}
+}
+
+func TestRegistryBoundsAndIdleEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	cfg := Config{
+		Window: 4, Stride: 2, MaxSessions: 2, IdleTTL: time.Minute,
+		Classifier: newTestClassifier(t),
+		now:        func() time.Time { return now },
+	}
+	reg := NewRegistry(cfg)
+	if _, err := reg.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	// Same name: not a new session.
+	if _, err := reg.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Get("c"); err == nil {
+		t.Fatal("third distinct session admitted past MaxSessions=2")
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("len = %d", reg.Len())
+	}
+	// Time passes: the idle sweep frees both slots and "c" fits.
+	now = now.Add(2 * time.Minute)
+	if _, err := reg.Get("c"); err != nil {
+		t.Fatalf("get after idle eviction: %v", err)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("len after eviction sweep = %d", reg.Len())
+	}
+	reg.Remove("c")
+	if reg.Len() != 0 {
+		t.Fatalf("len after remove = %d", reg.Len())
+	}
+	if n := reg.EvictIdle(); n != 0 {
+		t.Fatalf("EvictIdle on empty registry = %d", n)
+	}
+}
+
+func TestParseEventValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		ok   bool
+	}{
+		{"op", `{"op":"write","handle":3,"bytes":32768}`, true},
+		{"op-path", `{"op":"open","handle":3,"path":"x.dat"}`, true},
+		{"line", `{"line":"read(3, \"\", 64) = 64"}`, true},
+		{"end", `{"end":true,"session":"j"}`, true},
+		{"not-json", `write(3)`, false},
+		{"empty", `{}`, false},
+		{"op-and-line", `{"op":"read","handle":1,"line":"x"}`, false},
+		{"op-and-end", `{"op":"read","handle":1,"end":true}`, false},
+		{"negative-handle", `{"op":"read","handle":-1}`, false},
+		{"negative-bytes", `{"op":"read","handle":1,"bytes":-5}`, false},
+		{"session-too-long", `{"op":"read","handle":1,"session":"` + strings.Repeat("s", MaxSessionName+1) + `"}`, false},
+		{"session-control", `{"op":"read","handle":1,"session":"a\u0007b"}`, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseEvent([]byte(tc.in))
+			if (err == nil) != tc.ok {
+				t.Fatalf("ParseEvent(%s): err = %v, want ok=%v", tc.in, err, tc.ok)
+			}
+		})
+	}
+}

@@ -18,6 +18,21 @@ import (
 //	lseek(3, 8192, SEEK_SET) = 8192
 //	close(3) = 0
 //
+// Decorations real captures carry are stripped before parsing:
+//
+//	1234  read(3, ...) = 4096              (bare PID column, strace -f)
+//	[pid 1234] read(3, ...) = 4096         (alternate PID column)
+//	12:34:56 read(3, ...) = 4096           (strace -t)
+//	12:34:56.789012 read(3, ...) = 4096    (strace -tt)
+//	1628773289.123456 read(3, ...) = 4096  (strace -ttt)
+//	read(3, ...) = 4096 <0.000042>         (strace -T duration suffix)
+//
+// Calls split by a context switch are re-paired per PID and emitted once,
+// as the completed call:
+//
+//	read(3, " <unfinished ...>
+//	<... read resumed> ", 4096) = 4096
+//
 // Rules:
 //   - The operation name is the identifier before '('.
 //   - open: the handle is the return value (after '='); the first quoted
@@ -25,20 +40,17 @@ import (
 //   - close and other calls: the handle is the first argument.
 //   - read/write/pread/pwrite and friends: the byte count is the return
 //     value when non-negative, else the last integer argument.
-//   - Lines that do not look like calls (signals, exits, unfinished
-//     continuations) are skipped.
+//   - Lines that do not look like calls (signals, exits) are skipped.
+//   - An unfinished call whose resumption never arrives is dropped at EOF.
 func ParseStrace(r io.Reader) (*Trace, error) {
 	t := &Trace{}
+	p := NewLineParser()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	lineno := 0
 	for sc.Scan() {
 		lineno++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		op, ok, err := parseStraceLine(line)
+		op, ok, err := p.Line(sc.Text())
 		if err != nil {
 			return nil, &ParseError{lineno, err.Error()}
 		}
@@ -52,9 +64,72 @@ func ParseStrace(r io.Reader) (*Trace, error) {
 	return t, nil
 }
 
+// LineParser parses strace output one line at a time, carrying the state
+// that spans lines: calls interrupted by a context switch are printed as
+// an `<unfinished ...>` half and a `<... name resumed>` half, possibly far
+// apart and interleaved across PIDs, so the parser stashes the unfinished
+// fragment per PID and emits the completed call when its resumption
+// arrives. This is the streaming core behind ParseStrace and the
+// per-session assembly in internal/stream.
+//
+// A LineParser is not safe for concurrent use; each capture stream needs
+// its own.
+type LineParser struct {
+	// pending maps a PID to the stashed head of its unfinished call (the
+	// text before the `<unfinished ...>` marker). Lines without any PID
+	// column share the key 0, matching strace output for a single process.
+	pending map[int]string
+}
+
+// NewLineParser returns an empty LineParser.
+func NewLineParser() *LineParser {
+	return &LineParser{pending: make(map[int]string)}
+}
+
+// Pending reports how many unfinished calls are stashed awaiting their
+// resumption.
+func (p *LineParser) Pending() int { return len(p.pending) }
+
+// Line consumes one raw capture line and returns the completed operation,
+// if the line (possibly joined with a stashed unfinished fragment)
+// completes one. Non-call lines (signals, exits, noise) return ok = false.
+func (p *LineParser) Line(line string) (Op, bool, error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Op{}, false, nil
+	}
+	pid, line := stripColumns(line)
+	line = stripDuration(line)
+
+	// First half of a split call: stash the fragment and wait for the
+	// resumption. The marker may or may not be preceded by a space.
+	if i := strings.Index(line, "<unfinished ...>"); i >= 0 {
+		frag := strings.TrimRight(line[:i], " \t")
+		if frag != "" {
+			p.pending[pid] = frag
+		}
+		return Op{}, false, nil
+	}
+	// Second half: `<... name resumed> rest-of-args-and-return`.
+	if rest, ok := strings.CutPrefix(line, "<..."); ok {
+		rest = strings.TrimSpace(rest)
+		j := strings.Index(rest, "resumed>")
+		if j < 0 {
+			return Op{}, false, nil // not a resumption after all
+		}
+		frag, ok := p.pending[pid]
+		if !ok {
+			// The unfinished half predates this capture (or was itself
+			// dropped): nothing to complete.
+			return Op{}, false, nil
+		}
+		delete(p.pending, pid)
+		line = frag + " " + strings.TrimSpace(rest[j+len("resumed>"):])
+	}
+	return parseStraceLine(line)
+}
+
 func parseStraceLine(line string) (Op, bool, error) {
-	// Strip a leading PID column ("1234  read(...)" or "[pid 1234] ...").
-	line = strings.TrimSpace(strings.TrimPrefix(line, stripPID(line)))
 	lp := strings.IndexByte(line, '(')
 	if lp <= 0 {
 		return Op{}, false, nil // not a call line
@@ -65,7 +140,7 @@ func parseStraceLine(line string) (Op, bool, error) {
 	}
 	rp := matchingParen(line, lp)
 	if rp < 0 {
-		return Op{}, false, nil // unfinished call
+		return Op{}, false, nil // truncated call
 	}
 	argstr := line[lp+1 : rp]
 	retstr := ""
@@ -122,20 +197,98 @@ func parseStraceLine(line string) (Op, bool, error) {
 	}
 }
 
-func stripPID(line string) string {
-	if strings.HasPrefix(line, "[pid") {
-		if i := strings.IndexByte(line, ']'); i >= 0 {
-			return line[:i+1]
+// stripColumns removes the leading decoration columns strace prepends —
+// a PID in either form and/or a timestamp in any of the -t/-tt/-ttt
+// shapes — and returns the PID (0 when the line carries none) with the
+// undecorated remainder. Columns may appear in combination
+// ("1234 12:34:56.789012 read(...)"), so stripping loops until the next
+// token is not a recognised column.
+func stripColumns(line string) (pid int, rest string) {
+	rest = line
+	for {
+		if after, ok := strings.CutPrefix(rest, "[pid"); ok {
+			if i := strings.IndexByte(after, ']'); i >= 0 {
+				if v, err := strconv.Atoi(strings.TrimSpace(after[:i])); err == nil {
+					pid = v
+				}
+				rest = strings.TrimLeft(after[i+1:], " \t")
+				continue
+			}
+			return pid, rest
+		}
+		tok := rest
+		if i := strings.IndexAny(rest, " \t"); i >= 0 {
+			tok = rest[:i]
+		} else {
+			// A column is always followed by more line; a bare token is
+			// the call itself (or noise), never a column.
+			return pid, rest
+		}
+		switch {
+		case tok != "" && isDigits(tok):
+			// Bare PID column (strace -f without the [pid] decoration).
+			if v, err := strconv.Atoi(tok); err == nil {
+				pid = v
+			}
+		case isTimestamp(tok):
+			// -t/-tt wall-clock or -ttt epoch-seconds column.
+		default:
+			return pid, rest
+		}
+		rest = strings.TrimLeft(rest[len(tok):], " \t")
+	}
+}
+
+// isDigits reports whether s is entirely ASCII digits.
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
 		}
 	}
-	i := 0
-	for i < len(line) && line[i] >= '0' && line[i] <= '9' {
-		i++
+	return len(s) > 0
+}
+
+// isTimestamp recognises the strace time columns: HH:MM:SS, HH:MM:SS.ffff
+// (-t/-tt) and epoch seconds with a fractional part (-ttt). The token must
+// contain only digits plus ':' or '.' separators and at least one
+// separator (a separator-free digit run is a PID, not a time).
+func isTimestamp(s string) bool {
+	if s == "" {
+		return false
 	}
-	if i > 0 && i < len(line) && (line[i] == ' ' || line[i] == '\t') {
-		return line[:i]
+	seps := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c >= '0' && c <= '9':
+		case c == ':' || c == '.':
+			// Separators are always between digits.
+			if i == 0 || i == len(s)-1 {
+				return false
+			}
+			seps++
+		default:
+			return false
+		}
 	}
-	return ""
+	return seps > 0
+}
+
+// stripDuration removes a trailing `<0.000042>` syscall-duration suffix
+// (strace -T). Only a suffix whose content parses as a number is cut, so
+// the `<unfinished ...>` marker survives.
+func stripDuration(line string) string {
+	if !strings.HasSuffix(line, ">") {
+		return line
+	}
+	i := strings.LastIndexByte(line, '<')
+	if i < 0 {
+		return line
+	}
+	if _, err := strconv.ParseFloat(line[i+1:len(line)-1], 64); err != nil {
+		return line
+	}
+	return strings.TrimRight(line[:i], " \t")
 }
 
 func isIdent(s string) bool {

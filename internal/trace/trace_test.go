@@ -309,19 +309,135 @@ close(3) = 0
 }
 
 func TestParseStraceSkipsNoise(t *testing.T) {
+	// The unfinished read is completed by its resumption two lines later
+	// (both halves under the same PID); the signal, exit, failed open, and
+	// the resumption with no stashed half are dropped.
 	in := `
 --- SIGCHLD {si_signo=SIGCHLD} ---
 +++ exited with 0 +++
 open("x", O_RDONLY) = -1 ENOENT (No such file)
 read(3 <unfinished ...>
 1234  write(5, "abc", 3) = 3
+<... read resumed> , "...", 8192) = 8192
+<... pread resumed> ...) = 64
 `
 	tr, err := ParseStrace(strings.NewReader(in))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tr.Ops) != 1 || tr.Ops[0].Name != "write" || tr.Ops[0].Handle != 5 || tr.Ops[0].Bytes != 3 {
-		t.Fatalf("got %v", tr.Ops)
+	want := []Op{
+		{Name: "write", Handle: 5, Bytes: 3},
+		{Name: "read", Handle: 3, Bytes: 8192},
+	}
+	if len(tr.Ops) != len(want) {
+		t.Fatalf("got %d ops %v, want %v", len(tr.Ops), tr.Ops, want)
+	}
+	for i := range want {
+		if tr.Ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, tr.Ops[i], want[i])
+		}
+	}
+}
+
+// TestParseStraceDecorations pins the column stripping: every -t/-tt/-ttt
+// timestamp shape, both PID column forms, combinations of the two, and
+// the -T duration suffix must all leave the call parsable. Before the
+// streaming rework each of these lines was silently dropped.
+func TestParseStraceDecorations(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Op
+	}{
+		{"plain", `read(3, "...", 4096) = 4096`, Op{Name: "read", Handle: 3, Bytes: 4096}},
+		{"t", `12:34:56 read(3, "...", 4096) = 4096`, Op{Name: "read", Handle: 3, Bytes: 4096}},
+		{"tt", `12:34:56.789012 read(3, "...", 4096) = 4096`, Op{Name: "read", Handle: 3, Bytes: 4096}},
+		{"ttt", `1628773289.123456 read(3, "...", 4096) = 4096`, Op{Name: "read", Handle: 3, Bytes: 4096}},
+		{"pid", `1234  write(5, "abc", 3) = 3`, Op{Name: "write", Handle: 5, Bytes: 3}},
+		{"pid-bracket", `[pid 1234] write(5, "abc", 3) = 3`, Op{Name: "write", Handle: 5, Bytes: 3}},
+		{"pid-then-tt", `1234 12:34:56.789012 lseek(3, 8192, SEEK_SET) = 8192`, Op{Name: "lseek", Handle: 3}},
+		{"bracket-then-ttt", `[pid 7] 1628773289.000001 close(3) = 0`, Op{Name: "close", Handle: 3}},
+		{"duration", `write(3, "x", 512) = 512 <0.000042>`, Op{Name: "write", Handle: 3, Bytes: 512}},
+		{"tt-and-duration", `12:34:56.789012 pread64(4, "x", 64, 0) = 64 <0.000007>`, Op{Name: "pread64", Handle: 4, Bytes: 64}},
+		{"t-open", `12:34:56 openat(AT_FDCWD, "f.dat", O_WRONLY) = 4 <0.000100>`, Op{Name: "open", Handle: 4, Path: "f.dat"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr, err := ParseStrace(strings.NewReader(tc.line))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tr.Ops) != 1 || tr.Ops[0] != tc.want {
+				t.Fatalf("line %q: got %v, want %+v", tc.line, tr.Ops, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseStraceUnfinishedResumed pins the per-PID pairing: interleaved
+// split calls from two PIDs complete in resumption order, decorations and
+// all, and an unfinished call with no resumption is dropped at EOF.
+func TestParseStraceUnfinishedResumed(t *testing.T) {
+	in := `
+[pid 100] 12:00:00.000001 read(3, " <unfinished ...>
+[pid 200] write(7, "abc" <unfinished ...>
+[pid 100] 12:00:00.000500 <... read resumed> ", 4096) = 4096 <0.000499>
+[pid 200] <... write resumed> , 3) = 3
+[pid 300] open("never.dat", O_RDONLY <unfinished ...>
+`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{
+		{Name: "read", Handle: 3, Bytes: 4096},
+		{Name: "write", Handle: 7, Bytes: 3},
+	}
+	if len(tr.Ops) != len(want) {
+		t.Fatalf("got %d ops %v, want %v", len(tr.Ops), tr.Ops, want)
+	}
+	for i := range want {
+		if tr.Ops[i] != want[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, tr.Ops[i], want[i])
+		}
+	}
+
+	// Streaming form: the LineParser exposes the stash so callers can see
+	// an in-flight split call.
+	p := NewLineParser()
+	if _, ok, _ := p.Line(`1234 read(3, " <unfinished ...>`); ok {
+		t.Fatal("unfinished half produced an op")
+	}
+	if p.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", p.Pending())
+	}
+	op, ok, err := p.Line(`1234 <... read resumed> ", 65536) = 65536`)
+	if err != nil || !ok || op != (Op{Name: "read", Handle: 3, Bytes: 65536}) {
+		t.Fatalf("resumed: op %+v ok %v err %v", op, ok, err)
+	}
+	if p.Pending() != 0 {
+		t.Fatalf("pending after resume = %d, want 0", p.Pending())
+	}
+}
+
+// TestParseStraceTimestampedCapture is the probe from the bug report: a
+// four-line capture with one timestamped read must parse all four ops
+// (the timestamped line used to fail the identifier check and vanish).
+func TestParseStraceTimestampedCapture(t *testing.T) {
+	in := `open("d", O_RDONLY) = 3
+12:34:56.789012 read(3, "...", 4096) = 4096
+write(3, "x", 1) = 1
+close(3) = 0
+`
+	tr, err := ParseStrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 4 {
+		t.Fatalf("got %d ops %v, want 4", len(tr.Ops), tr.Ops)
+	}
+	if tr.Ops[1] != (Op{Name: "read", Handle: 3, Bytes: 4096}) {
+		t.Fatalf("timestamped read parsed as %+v", tr.Ops[1])
 	}
 }
 
