@@ -13,6 +13,7 @@
 //	iokload -target http://127.0.0.1:8080 [flags]
 //	iokload -spec workload.json -target ... [flag overrides]
 //	iokload -replay corpus-dir -speed 2 -target ...
+//	iokload -scrape-metrics -json report.json -target ...
 //	iokload -dry-run [flags]        # print the schedule digest, send nothing
 //
 // Exit codes: 0 = run completed and all SLO gates passed; 1 = run failed
@@ -69,6 +70,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		replay   = flags.String("replay", "", "replay a recorded corpus directory instead of synthesizing")
 		speed    = flags.Float64("speed", 1, "replay speed factor (2 = twice as fast as recorded)")
 		dryRun   = flags.Bool("dry-run", false, "build and summarize the schedule without sending anything")
+		scrape   = flags.Bool("scrape-metrics", false, "snapshot the target's /metrics before and after the timed run; deltas land in the JSON report")
 	)
 	var sloSpecs multiFlag
 	flags.Var(&sloSpecs, "slo", "SLO gates, e.g. '/classify:p99<5ms,err<0.1%' (repeatable)")
@@ -197,8 +199,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "prefilled %d labelled traces\n", n)
 	}
 
+	// Scrape after prefill, not before it, so the deltas cover exactly the
+	// timed run — the same window the client-side report counts.
+	var before map[string]float64
+	if *scrape {
+		var err error
+		if before, err = load.ScrapeMetrics(ctx, runner.Target); err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 1
+		}
+	}
+
 	res, runErr := runner.Run(ctx, schedule)
 	rep := load.BuildReport(runner.Target, spec, res)
+	if *scrape {
+		after, err := load.ScrapeMetrics(ctx, runner.Target)
+		if err != nil {
+			fmt.Fprintf(stderr, "iokload: %v\n", err)
+			return 1
+		}
+		rep.ServerMetrics = load.MetricsDelta(before, after)
+	}
 	pass := load.Evaluate(gates, rep)
 	rep.WriteHuman(stdout)
 	if *jsonPath != "" {

@@ -36,6 +36,7 @@
 //	         [-ann-bands 16] [-ann-rows 8]
 //	         [-shards 1] [-shard-seed 0] [-labels FILE]
 //	         [-stream-window 256] [-stream-stride 64] [-max-sessions 1024]
+//	         [-slow-request 1s] [-log-level info] [-pprof-addr ADDR]
 //
 // Endpoints:
 //
@@ -66,7 +67,16 @@
 //	GET    /gram             raw kernel matrix ({"ids": [...], "matrix": [[...]]})
 //	GET    /gram?normalized=1  paper-pipeline similarity (Eq. 12 / cosine + PSD repair)
 //	GET    /healthz          liveness probe; "degraded" if persistence fails
+//	GET    /metrics          Prometheus text exposition: every layer (HTTP,
+//	                         engine, sketch index, store, shards, streaming)
+//	                         reports into one registry
 //	GET    /debug/store      WAL/snapshot statistics (404 without --data-dir)
+//
+// Observability: every request carries an X-Request-Id (client-supplied or
+// generated) that tags its structured log lines; requests slower than
+// -slow-request are logged at Warn. -pprof-addr starts net/http/pprof on a
+// separate listener (off by default, so profiling endpoints never share
+// the public address).
 package main
 
 import (
@@ -75,8 +85,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -87,6 +99,7 @@ import (
 	"iokast/internal/cli"
 	"iokast/internal/core"
 	"iokast/internal/engine"
+	"iokast/internal/obs"
 	"iokast/internal/serve"
 	"iokast/internal/shard"
 	"iokast/internal/sketch"
@@ -129,6 +142,9 @@ func main() {
 	streamWindow := flag.Int("stream-window", stream.DefaultWindow, "streaming ingest: classification window in operations")
 	streamStride := flag.Int("stream-stride", stream.DefaultStride, "streaming ingest: operations between window classifications")
 	maxSessions := flag.Int("max-sessions", stream.DefaultMaxSessions, "streaming ingest: maximum concurrently assembling sessions")
+	slowRequest := flag.Duration("slow-request", time.Second, "log requests slower than this at Warn (0 disables)")
+	logLevel := flag.String("log-level", "info", "structured-log level: debug (per-request lines), info, warn, or error")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	flag.Parse()
 
 	spec := cli.KernelSpec{Name: *kernelName, CutWeight: *cut, K: *k, Count: *count}
@@ -141,6 +157,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iokserve: -shards must be >= 1, got %d\n", *shards)
 		os.Exit(2)
 	}
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "iokserve: -log-level %q: %v\n", *logLevel, err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// One registry for the whole stack: the engine, sketch index, store,
+	// shard fan-out, streaming, and HTTP layers all report here, and GET
+	// /metrics renders it.
+	obsReg := obs.NewRegistry()
 
 	eopt := engine.Options{
 		Kernel: kern, Workers: *workers,
@@ -180,7 +208,9 @@ func main() {
 		checkpoint func() error // non-nil when shutdown must close a store
 	)
 	if *shards > 1 {
-		shopt := shard.Options{Shards: *shards, Seed: *shardSeed, Engine: eopt, Store: sopt}
+		// Obs hands the shard layer the registry so it can label each
+		// shard's engine/store/fan-out series with shard="N" itself.
+		shopt := shard.Options{Shards: *shards, Seed: *shardSeed, Engine: eopt, Store: sopt, Obs: obsReg}
 		var sh *shard.Sharded
 		if *dataDir != "" {
 			sh, err = shard.Open(*dataDir, shopt)
@@ -201,6 +231,8 @@ func main() {
 		}
 		srv = serve.NewSharded(sh, reg, core.Options{IgnoreBytes: *noBytes})
 	} else {
+		eopt.Metrics = engine.NewMetrics(obsReg, nil)
+		sopt.Metrics = store.NewMetrics(obsReg, nil)
 		var (
 			eng *engine.Engine
 			st  *store.Store
@@ -221,7 +253,33 @@ func main() {
 
 	srv.ConfigureStream(stream.Config{
 		Window: *streamWindow, Stride: *streamStride, MaxSessions: *maxSessions,
+		Metrics: stream.NewMetrics(obsReg),
 	})
+	srv.ConfigureTelemetry(serve.Telemetry{
+		Registry: obsReg, Logger: logger, SlowRequest: *slowRequest,
+	})
+
+	if *pprofAddr != "" {
+		// A dedicated mux on a dedicated listener: profiling never rides the
+		// public address, and nothing here touches http.DefaultServeMux.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iokserve: pprof listen %s: %v\n", *pprofAddr, err)
+			os.Exit(1)
+		}
+		log.Printf("iokserve: pprof on %s", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Printf("iokserve: pprof server: %v", err)
+			}
+		}()
+	}
 
 	// No ReadTimeout: /ingest requests legitimately live as long as the
 	// workload they stream, and the handler heartbeats its own per-event

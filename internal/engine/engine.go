@@ -48,6 +48,8 @@ type Options struct {
 	// ANNRows is the number of hyperplanes per band; 0 means
 	// sketch.DefaultRows, values above sketch.MaxRows are clamped.
 	ANNRows int
+	// Metrics are the telemetry hooks; the zero value disables them.
+	Metrics Metrics
 }
 
 // Log receives engine mutations for durability. Implementations must be
@@ -82,8 +84,9 @@ type Engine struct {
 	log     Log    // mutation log, nil for a purely in-memory engine
 	logErr  error  // sticky: first log failure, surfaced by Err
 
-	sk *sketch.Sketcher // nil when sketching is disabled
-	ix *sketch.Index    // sketch index over live ids; nil iff sk is nil
+	sk  *sketch.Sketcher // nil when sketching is disabled
+	ix  *sketch.Index    // sketch index over live ids; nil iff sk is nil
+	met Metrics          // telemetry hooks; zero value = disabled
 }
 
 // entry caches one corpus string and its per-string representation.
@@ -111,6 +114,7 @@ func New(opt Options) *Engine {
 		workers: opt.Workers,
 		g:       linalg.NewMatrix(0, 0),
 		log:     opt.Log,
+		met:     opt.Metrics,
 	}
 	if kk, ok := k.(*core.Kast); ok {
 		e.kast = kk
@@ -121,6 +125,7 @@ func New(opt Options) *Engine {
 	if opt.SketchDim >= 0 {
 		e.sk = sketch.New(sketch.Options{Dim: opt.SketchDim, Seed: opt.SketchSeed})
 		e.ix = sketch.NewIndexANN(e.sk.Dim(), opt.ANNBands, opt.ANNRows, opt.SketchSeed)
+		e.ix.SetMetrics(opt.Metrics.Index)
 	}
 	return e
 }
@@ -158,6 +163,7 @@ func (e *Engine) Add(x token.String) int {
 
 	row := e.compareRow(ne, snap)
 	self := e.compare(ne, ne)
+	e.met.KernelEvals.Add(1) // the self-similarity evaluation
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -181,6 +187,7 @@ func (e *Engine) Add(x token.String) int {
 	e.indexEntry(n, ne)
 	e.active++
 	e.seq++
+	e.met.Adds.Inc()
 	return n
 }
 
@@ -234,6 +241,17 @@ func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
 		}
 		rows[t][j] = e.compare(nes[t], nes[j-n])
 	})
+	if e.met.KernelEvals != nil {
+		// m rows against the live snapshot plus the new-vs-new triangle;
+		// counted here in one add rather than atomically in the hot loop.
+		var live int64
+		for _, old := range snap {
+			if old != nil {
+				live++
+			}
+		}
+		e.met.KernelEvals.Add(int64(m)*live + int64(m)*int64(m+1)/2)
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -273,6 +291,7 @@ func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
 	}
 	e.active += m
 	e.seq += uint64(m)
+	e.met.Adds.Add(int64(m))
 	return ids, logErr
 }
 
@@ -339,6 +358,15 @@ func (e *Engine) indexEntry(id int, ne *entry) {
 // compareRow evaluates the kernel of ne against each entry, fanned out over
 // the worker pool. Nil (removed) slots yield 0; their values are never read.
 func (e *Engine) compareRow(ne *entry, against []*entry) []float64 {
+	if e.met.KernelEvals != nil {
+		var n int64
+		for _, old := range against {
+			if old != nil {
+				n++
+			}
+		}
+		e.met.KernelEvals.Add(n)
+	}
 	row := make([]float64, len(against))
 	kernel.ParallelFor(len(against), e.workers, func(i int) {
 		if old := against[i]; old != nil {
@@ -386,6 +414,7 @@ func (e *Engine) Remove(id int) error {
 	}
 	e.active--
 	e.seq++
+	e.met.Removes.Inc()
 	return nil
 }
 
@@ -599,6 +628,7 @@ func (e *Engine) SimilarApprox(id, k, rerank int) ([]Neighbor, error) {
 		fetch = k
 	}
 	cands := e.ix.SearchSelf(id, fetch)
+	e.met.Reranked.Add(int64(len(cands)))
 	self := e.g.At(id, id)
 	out := make([]Neighbor, 0, len(cands))
 	for _, c := range cands {
@@ -778,6 +808,7 @@ func (e *Engine) SimilarTracePrepared(tq *TraceQuery, k, rerank int) ([]Neighbor
 			fetch = k
 		}
 		cands = e.ix.SearchQuery(sq, fetch, -1)
+		e.met.Reranked.Add(int64(len(cands)))
 	}
 	// The candidate kernel evaluations fan out over the worker pool, like
 	// Add's row computation.

@@ -1,0 +1,198 @@
+// Package hdr is the log-linear (HDR-style) latency histogram shared by
+// the load harness's client-side recording (internal/load) and the
+// server-side /metrics exposition (internal/obs). It lives in its own
+// leaf package so both can use the identical bucket geometry — the two
+// views of a latency distribution are quantized the same way and can be
+// compared bucket for bucket — without import cycles (load reaches the
+// serving stack through internal/stream; obs is imported by the serving
+// stack).
+package hdr
+
+import (
+	"math/bits"
+	"time"
+)
+
+// Histogram bucket geometry: values are measured in microseconds and
+// placed in log-linear buckets — within each power-of-two octave the
+// range is split into 2^histSubBits linear sub-buckets, so the relative
+// quantization error is bounded by 1/2^(histSubBits-1) (~6%, halved
+// again by reporting bucket midpoints) at every magnitude, the HDR
+// histogram scheme. The whole structure is a fixed array: recording a
+// latency is two or three integer ops and never allocates, which is what
+// keeps the measurement path out of the measurement.
+const (
+	histUnit    = int64(time.Microsecond)
+	histSubBits = 5  // 32 linear sub-buckets per octave
+	histOctaves = 27 // covers [1µs, ~2147s); beyond clamps to the top
+	histBuckets = histOctaves << histSubBits
+)
+
+// Histogram is a bounded log-linear latency histogram. The zero value is
+// ready to use. It is not safe for concurrent use: the Runner gives each
+// worker its own set and merges them afterwards, so the hot path needs
+// no locks either.
+type Histogram struct {
+	counts   [histBuckets]int64
+	n        int64
+	sum      int64 // microseconds, for the mean
+	min, max int64 // microseconds, exact
+}
+
+// bucketOf maps a microsecond value to its bucket index.
+func bucketOf(u int64) int {
+	if u < 0 {
+		u = 0
+	}
+	exp := bits.Len64(uint64(u)) - histSubBits
+	if exp < 0 {
+		exp = 0
+	}
+	idx := exp<<histSubBits | int(u>>uint(exp))
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the midpoint (in microseconds) of bucket idx, the
+// value Quantile reports for it.
+func bucketMid(idx int) int64 {
+	exp := uint(idx >> histSubBits)
+	sub := int64(idx & (1<<histSubBits - 1))
+	lo := sub << exp
+	hi := (sub + 1) << exp
+	return (lo + hi) / 2
+}
+
+// Record adds one latency observation. Negative durations (a request
+// completed before its scheduled arrival cannot happen; clock skew can
+// produce them in principle) clamp to zero rather than corrupting the
+// geometry.
+func (h *Histogram) Record(d time.Duration) {
+	u := int64(d) / histUnit
+	if u < 0 {
+		u = 0
+	}
+	h.counts[bucketOf(u)]++
+	h.sum += u
+	if h.n == 0 || u < h.min {
+		h.min = u
+	}
+	if u > h.max {
+		h.max = u
+	}
+	h.n++
+}
+
+// Merge folds o into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.sum += o.sum
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	h.n += o.n
+}
+
+// Count returns the number of recorded observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Sum returns the exact sum of the recorded values (kept outside the
+// buckets, so it carries no quantization error).
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum * histUnit) }
+
+// Bucket is one non-empty histogram bucket for exposition: Count
+// observations fell in [previous bound, UpperMicros). Bounds come from
+// the log-linear geometry, so consumers (the /metrics exposition in
+// internal/obs) inherit the exact quantization the load harness records
+// with — the two views of a latency distribution can never disagree.
+type Bucket struct {
+	// UpperMicros is the bucket's exclusive upper bound in microseconds;
+	// every value it counts is <= UpperMicros-1, so treating it as an
+	// inclusive "le" bound (Prometheus-style) is always correct.
+	UpperMicros int64
+	// Count is the number of observations in this bucket alone (not
+	// cumulative).
+	Count int64
+}
+
+// Buckets returns the non-empty buckets in ascending bound order. The
+// per-bucket counts sum to exactly Count() and the bounds are strictly
+// monotone (both test-pinned), which is what a cumulative exposition
+// format needs to stay self-consistent.
+func (h *Histogram) Buckets() []Bucket {
+	if h.n == 0 {
+		return nil
+	}
+	out := make([]Bucket, 0, 32)
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		exp := uint(i >> histSubBits)
+		sub := int64(i & (1<<histSubBits - 1))
+		out = append(out, Bucket{UpperMicros: (sub + 1) << exp, Count: c})
+	}
+	return out
+}
+
+// Mean returns the exact mean of the recorded values (the sum is kept
+// outside the buckets, so the mean carries no quantization error).
+func (h *Histogram) Mean() time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / h.n * histUnit)
+}
+
+// Max returns the exact maximum recorded value.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max * histUnit) }
+
+// Min returns the exact minimum recorded value.
+func (h *Histogram) Min() time.Duration { return time.Duration(h.min * histUnit) }
+
+// Quantile returns the latency at quantile q in [0, 1]: the midpoint of
+// the bucket holding the ceil(q*n)-th observation, clamped to the exact
+// observed [min, max] so the tails never report values outside what
+// actually happened.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		// The top of the distribution is tracked exactly; the last
+		// bucket's midpoint would understate it.
+		return h.Max()
+	}
+	rank := int64(q*float64(h.n) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			v := bucketMid(i)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return time.Duration(v * histUnit)
+		}
+	}
+	return h.Max()
+}

@@ -1,151 +1,13 @@
 package load
 
-import (
-	"math/bits"
-	"time"
-)
+import "iokast/internal/hdr"
 
-// Histogram bucket geometry: values are measured in microseconds and
-// placed in log-linear buckets — within each power-of-two octave the
-// range is split into 2^histSubBits linear sub-buckets, so the relative
-// quantization error is bounded by 1/2^(histSubBits-1) (~6%, halved
-// again by reporting bucket midpoints) at every magnitude, the HDR
-// histogram scheme. The whole structure is a fixed array: recording a
-// latency is two or three integer ops and never allocates, which is what
-// keeps the measurement path out of the measurement.
-const (
-	histUnit    = int64(time.Microsecond)
-	histSubBits = 5  // 32 linear sub-buckets per octave
-	histOctaves = 27 // covers [1µs, ~2147s); beyond clamps to the top
-	histBuckets = histOctaves << histSubBits
-)
+// Histogram is the bounded log-linear latency histogram the Runner
+// records into. The implementation lives in internal/hdr so the
+// server-side /metrics exposition (internal/obs) shares the exact
+// bucket geometry; the alias keeps this package's API unchanged.
+type Histogram = hdr.Histogram
 
-// Histogram is a bounded log-linear latency histogram. The zero value is
-// ready to use. It is not safe for concurrent use: the Runner gives each
-// worker its own set and merges them afterwards, so the hot path needs
-// no locks either.
-type Histogram struct {
-	counts   [histBuckets]int64
-	n        int64
-	sum      int64 // microseconds, for the mean
-	min, max int64 // microseconds, exact
-}
-
-// bucketOf maps a microsecond value to its bucket index.
-func bucketOf(u int64) int {
-	if u < 0 {
-		u = 0
-	}
-	exp := bits.Len64(uint64(u)) - histSubBits
-	if exp < 0 {
-		exp = 0
-	}
-	idx := exp<<histSubBits | int(u>>uint(exp))
-	if idx >= histBuckets {
-		idx = histBuckets - 1
-	}
-	return idx
-}
-
-// bucketMid returns the midpoint (in microseconds) of bucket idx, the
-// value Quantile reports for it.
-func bucketMid(idx int) int64 {
-	exp := uint(idx >> histSubBits)
-	sub := int64(idx & (1<<histSubBits - 1))
-	lo := sub << exp
-	hi := (sub + 1) << exp
-	return (lo + hi) / 2
-}
-
-// Record adds one latency observation. Negative durations (a request
-// completed before its scheduled arrival cannot happen; clock skew can
-// produce them in principle) clamp to zero rather than corrupting the
-// geometry.
-func (h *Histogram) Record(d time.Duration) {
-	u := int64(d) / histUnit
-	if u < 0 {
-		u = 0
-	}
-	h.counts[bucketOf(u)]++
-	h.sum += u
-	if h.n == 0 || u < h.min {
-		h.min = u
-	}
-	if u > h.max {
-		h.max = u
-	}
-	h.n++
-}
-
-// Merge folds o into h.
-func (h *Histogram) Merge(o *Histogram) {
-	if o.n == 0 {
-		return
-	}
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.sum += o.sum
-	if h.n == 0 || o.min < h.min {
-		h.min = o.min
-	}
-	if o.max > h.max {
-		h.max = o.max
-	}
-	h.n += o.n
-}
-
-// Count returns the number of recorded observations.
-func (h *Histogram) Count() int64 { return h.n }
-
-// Mean returns the exact mean of the recorded values (the sum is kept
-// outside the buckets, so the mean carries no quantization error).
-func (h *Histogram) Mean() time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / h.n * histUnit)
-}
-
-// Max returns the exact maximum recorded value.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max * histUnit) }
-
-// Min returns the exact minimum recorded value.
-func (h *Histogram) Min() time.Duration { return time.Duration(h.min * histUnit) }
-
-// Quantile returns the latency at quantile q in [0, 1]: the midpoint of
-// the bucket holding the ceil(q*n)-th observation, clamped to the exact
-// observed [min, max] so the tails never report values outside what
-// actually happened.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.n == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q >= 1 {
-		// The top of the distribution is tracked exactly; the last
-		// bucket's midpoint would understate it.
-		return h.Max()
-	}
-	rank := int64(q*float64(h.n) + 0.5)
-	if rank < 1 {
-		rank = 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen >= rank {
-			v := bucketMid(i)
-			if v < h.min {
-				v = h.min
-			}
-			if v > h.max {
-				v = h.max
-			}
-			return time.Duration(v * histUnit)
-		}
-	}
-	return h.Max()
-}
+// Bucket is one non-empty histogram bucket, as yielded by
+// Histogram.Buckets.
+type Bucket = hdr.Bucket

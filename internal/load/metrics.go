@@ -1,0 +1,99 @@
+package load
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseMetrics reads a Prometheus text exposition into a flat sample map
+// keyed by the full series name (including its label set, exactly as
+// rendered). It is deliberately strict for a scraper: a line that is
+// neither a comment nor `name[{labels}] value` fails the parse, so a
+// half-written or garbage exposition is an error, not a silent zero.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the series key
+		// (name plus rendered labels, which may themselves contain spaces
+		// inside quoted values) is everything before it.
+		cut := strings.LastIndexByte(line, ' ')
+		if cut <= 0 {
+			return nil, fmt.Errorf("load: metrics line %d: no value in %q", lineNo, line)
+		}
+		key, val := line[:cut], line[cut+1:]
+		if strings.ContainsAny(key, "\t") || (strings.ContainsRune(key, '{') != strings.HasSuffix(key, "}")) {
+			return nil, fmt.Errorf("load: metrics line %d: malformed series %q", lineNo, key)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("load: metrics line %d: bad value %q", lineNo, val)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("load: metrics line %d: duplicate series %q", lineNo, key)
+		}
+		out[key] = f
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("load: read metrics: %v", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("load: empty metrics exposition")
+	}
+	return out, nil
+}
+
+// ScrapeMetrics fetches and parses target's /metrics endpoint.
+func ScrapeMetrics(ctx context.Context, target string) (map[string]float64, error) {
+	ctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(target, "/")+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("load: scrape metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("load: scrape metrics: status %d", resp.StatusCode)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// MetricsDelta subtracts a before-run scrape from an after-run scrape,
+// keeping the cumulative series (counters and histogram _sum/_count;
+// per-bucket series are dropped as noise at report granularity) that
+// moved during the run. This is what lands in Report.ServerMetrics: the
+// server's own view of the work the load run caused.
+func MetricsDelta(before, after map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for key, v := range after {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") &&
+			!strings.HasSuffix(name, "_sum") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		if d := v - before[key]; d != 0 {
+			out[key] = d
+		}
+	}
+	return out
+}

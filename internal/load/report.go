@@ -47,6 +47,14 @@ type Report struct {
 	Endpoints   map[string]EndpointReport `json:"endpoints"`
 	Total       EndpointReport            `json:"total"`
 	SLO         []GateResult              `json:"slo,omitempty"`
+
+	// ServerMetrics holds the before/after delta of the server's own
+	// cumulative /metrics series over the timed run (counters plus
+	// histogram _sum/_count), when the run was invoked with
+	// -scrape-metrics. The server-side ground truth next to the
+	// client-side latencies: if iok_http_requests_total here disagrees
+	// with Requests above, the harness dropped or double-counted work.
+	ServerMetrics map[string]float64 `json:"server_metrics,omitempty"`
 }
 
 // ms converts with full float precision; quantiles are already bucket

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"iokast/internal/hdr"
+)
+
+// Labels attaches dimension values to one series within a family, e.g.
+// Labels{"endpoint": "/classify", "status": "200"}. Label order never
+// matters: series identity and exposition order use the sorted form.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric. All methods are safe on
+// a nil receiver (no-ops), so uninstrumented components cost nothing.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram records durations into internal/hdr's log-linear bucket
+// geometry (the same geometry the load harness records with). Unlike the load harness's per-worker histograms this one is
+// shared across request goroutines, so observations take a mutex; the
+// critical section is a handful of integer ops.
+type Histogram struct {
+	mu sync.Mutex
+	h  hdr.Histogram
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.h.Record(d)
+	h.mu.Unlock()
+}
+
+// snapshot returns the buckets, count, and sum under the lock.
+func (h *Histogram) snapshot() (buckets []hdr.Bucket, count int64, sum time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.h.Buckets(), h.h.Count(), h.h.Sum()
+}
+
+// metric kinds, also the TYPE strings in the exposition.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labelled member of a family: exactly one of the value
+// fields is set. fn-backed series are sampled at exposition time.
+type series struct {
+	labels  string // rendered, sorted: `{k="v",...}` or ""
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// family is one named metric with a fixed type and help string.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series map[string]*series
+}
+
+// Registry is the single pane of glass: every layer registers its
+// instruments here and WriteText renders them all. Registration is
+// get-or-create — asking twice for the same name and labels returns the
+// same instrument, which is how shard-shared counters (every shard's
+// engine pointing at one iok_engine_adds_total) fall out for free.
+// Registering the same name with a different type or help panics:
+// that is a wiring bug, and wiring runs once at startup.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// getSeries returns the series for name+labels, creating family and
+// series as needed. Panics on type/help conflicts.
+func (r *Registry) getSeries(name, help, kind string, labels Labels) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := renderLabels(labels)
+	s := f.series[key]
+	if s == nil {
+		s = &series{labels: key}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.getSeries(name, help, kindCounter, labels)
+	if s.fn != nil {
+		panic(fmt.Sprintf("obs: counter %q%s already registered as a func", name, s.labels))
+	}
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.getSeries(name, help, kindGauge, labels)
+	if s.fn != nil {
+		panic(fmt.Sprintf("obs: gauge %q%s already registered as a func", name, s.labels))
+	}
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	s := r.getSeries(name, help, kindHistogram, labels)
+	if s.hist == nil {
+		s.hist = &Histogram{}
+	}
+	return s.hist
+}
+
+// GaugeFunc registers a gauge whose value is sampled by calling f at
+// exposition time — for values something else already owns (corpus
+// size, interner size, live sessions) where mirroring into a Gauge
+// would just invite drift.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, f func() float64) {
+	s := r.getSeries(name, help, kindGauge, labels)
+	if s.gauge != nil || (s.fn != nil && f != nil) {
+		panic(fmt.Sprintf("obs: gauge %q%s registered twice", name, s.labels))
+	}
+	s.fn = f
+}
+
+// CounterFunc registers a counter sampled by calling f at exposition
+// time. f must be monotone for the exposition to be honest; the
+// registry cannot check that.
+func (r *Registry) CounterFunc(name, help string, labels Labels, f func() float64) {
+	s := r.getSeries(name, help, kindCounter, labels)
+	if s.counter != nil || (s.fn != nil && f != nil) {
+		panic(fmt.Sprintf("obs: counter %q%s registered twice", name, s.labels))
+	}
+	s.fn = f
+}
+
+// renderLabels renders labels in sorted-key order with Prometheus
+// escaping, or "" when empty.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+}
+
+func TestCounterMonotone(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("iok_test_total", "help", Labels{"shard": "0"})
+	b := r.Counter("iok_test_total", "help", Labels{"shard": "0"})
+	if a != b {
+		t.Fatal("same name+labels returned distinct counters")
+	}
+	c := r.Counter("iok_test_total", "help", Labels{"shard": "1"})
+	if a == c {
+		t.Fatal("distinct labels returned the same counter")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("iok_test_total", "help", nil)
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iok_requests_total", "Total requests.", Labels{"endpoint": "/classify", "status": "200"}).Add(7)
+	r.Counter("iok_requests_total", "Total requests.", Labels{"endpoint": "/classify", "status": "400"}).Add(2)
+	r.Gauge("iok_inflight", "In-flight requests.", nil).Set(3)
+	r.GaugeFunc("iok_corpus_traces", "Corpus size.", nil, func() float64 { return 42 })
+	h := r.Histogram("iok_request_seconds", "Request latency.", Labels{"endpoint": "/classify"})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(30 * time.Millisecond)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	has := func(s string) bool {
+		for _, l := range lines {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []string{
+		"# HELP iok_requests_total Total requests.",
+		"# TYPE iok_requests_total counter",
+		`iok_requests_total{endpoint="/classify",status="200"} 7`,
+		`iok_requests_total{endpoint="/classify",status="400"} 2`,
+		"# TYPE iok_inflight gauge",
+		"iok_inflight 3",
+		"iok_corpus_traces 42",
+		"# TYPE iok_request_seconds histogram",
+		`iok_request_seconds_bucket{endpoint="/classify",le="+Inf"} 3`,
+		`iok_request_seconds_count{endpoint="/classify"} 3`,
+	} {
+		if !has(want) {
+			t.Fatalf("exposition missing line %q\n---\n%s", want, out)
+		}
+	}
+
+	// Histogram buckets are cumulative and end at the total count.
+	var lastCum string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "iok_request_seconds_bucket") {
+			lastCum = l[strings.LastIndexByte(l, ' ')+1:]
+		}
+	}
+	if lastCum != "3" {
+		t.Fatalf("final cumulative bucket = %s, want 3", lastCum)
+	}
+
+	// Deterministic output: a second render is byte-identical.
+	var sb2 strings.Builder
+	if err := r.WriteText(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != out {
+		t.Fatal("WriteText is not deterministic")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iok_esc_total", "", Labels{"path": "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `iok_esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Fatalf("escaped line %q missing from:\n%s", want, sb.String())
+	}
+}
+
+func TestHandlerMethodChecked(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iok_x_total", "", nil).Inc()
+	h := r.Handler()
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != ContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "iok_x_total 1") {
+		t.Fatalf("body missing sample:\n%s", rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/metrics", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d, want 405", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodHead, "/metrics", nil))
+	if rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Fatalf("HEAD /metrics = %d body=%d bytes", rec.Code, rec.Body.Len())
+	}
+}

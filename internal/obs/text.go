@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// ContentType is the Prometheus text exposition media type served by
+// Handler.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text
+// exposition format (0.0.4): families sorted by name, series sorted by
+// label signature, histograms as cumulative le-buckets in seconds plus
+// _sum and _count. Output is deterministic for a given registry state,
+// which the tests lean on.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(f.help)
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			writeSeries(bw, f, f.series[k])
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries renders one labelled series of f.
+func writeSeries(bw *bufio.Writer, f *family, s *series) {
+	switch {
+	case s.hist != nil:
+		buckets, count, sum := s.hist.snapshot()
+		var cum int64
+		for _, b := range buckets {
+			cum += b.Count
+			writeSample(bw, f.name+"_bucket", withLE(s.labels, formatFloat(float64(b.UpperMicros)/1e6)), strconv.FormatInt(cum, 10))
+		}
+		writeSample(bw, f.name+"_bucket", withLE(s.labels, "+Inf"), strconv.FormatInt(count, 10))
+		writeSample(bw, f.name+"_sum", s.labels, formatFloat(sum.Seconds()))
+		writeSample(bw, f.name+"_count", s.labels, strconv.FormatInt(count, 10))
+	case s.fn != nil:
+		writeSample(bw, f.name, s.labels, formatFloat(s.fn()))
+	case s.counter != nil:
+		writeSample(bw, f.name, s.labels, strconv.FormatInt(s.counter.Value(), 10))
+	case s.gauge != nil:
+		writeSample(bw, f.name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+	}
+}
+
+// writeSample emits one `name{labels} value` line.
+func writeSample(bw *bufio.Writer, name, labels, value string) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// withLE appends the le label to an already-rendered label set. The
+// text format does not require sorted labels within a line, only that
+// the set identifies the series, so appending keeps this simple and
+// deterministic.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns the GET /metrics endpoint: method-checked, read-only,
+// text exposition format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WriteText(w)
+	})
+}

@@ -22,7 +22,7 @@ close fh=1
 `
 
 // seedLabeled ingests three traces and labels two of them.
-func seedLabeled(t *testing.T, s *Server) {
+func seedLabeled(t testing.TB, s *Server) {
 	t.Helper()
 	for _, body := range []string{traceA, traceA, traceC} {
 		doJSON(t, s, http.MethodPost, "/traces", body, http.StatusCreated)

@@ -33,6 +33,9 @@ var connSeq atomic.Uint64
 func (s *Server) ConfigureStream(cfg stream.Config) {
 	cfg.Classifier = s.cls
 	cfg.Convert = s.copt
+	// The default registry built in finish owns a background sweeper; stop
+	// it before letting the replacement take over.
+	s.streams.Close()
 	s.streams = stream.NewRegistry(cfg)
 }
 
@@ -42,6 +45,7 @@ func (s *Server) ConfigureStream(cfg stream.Config) {
 // {"error": ...} line on the same stream.
 type ingestWriter struct {
 	w       http.ResponseWriter
+	r       *http.Request
 	rc      *http.ResponseController
 	started bool
 }
@@ -64,7 +68,7 @@ func (o *ingestWriter) result(res *stream.Result) {
 
 func (o *ingestWriter) fail(status int, format string, args ...any) {
 	if !o.started {
-		httpError(o.w, status, format, args...)
+		httpError(o.w, o.r, status, format, args...)
 		return
 	}
 	b, _ := json.Marshal(map[string]string{"error": fmt.Sprintf(format, args...)})
@@ -83,17 +87,17 @@ func (o *ingestWriter) fail(status int, format string, args ...any) {
 // bit-identical to POSTing its assembled trace to /classify.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST /ingest?k=&rerank= with NDJSON events")
+		httpError(w, r, http.StatusMethodNotAllowed, "POST /ingest?k=&rerank= with NDJSON events")
 		return
 	}
 	k, rerank, err := similarParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	reg := s.streams
 	rc := http.NewResponseController(w)
-	out := &ingestWriter{w: w, rc: rc}
+	out := &ingestWriter{w: w, r: r, rc: rc}
 
 	var anon *stream.Session
 	anonName := fmt.Sprintf("conn-%d", connSeq.Add(1))

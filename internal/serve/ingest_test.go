@@ -216,7 +216,8 @@ func TestServeIngestErrors(t *testing.T) {
 }
 
 // TestServeIngestSessionLifecycle covers named sessions spanning requests,
-// the healthz session gauge, and idle eviction through the healthz sweep.
+// the healthz session gauge, and idle eviction through the stream
+// registry's background sweeper (healthz itself is read-only).
 func TestServeIngestSessionLifecycle(t *testing.T) {
 	s := testServer()
 	seedLabeled(t, s)
@@ -240,14 +241,21 @@ func TestServeIngestSessionLifecycle(t *testing.T) {
 		t.Fatalf("cross-request session final = %v", final)
 	}
 
-	// Idle eviction: with a tiny TTL the healthz sweep collects an
-	// abandoned session.
-	s.ConfigureStream(stream.Config{Window: 4, Stride: 2, IdleTTL: time.Nanosecond})
+	// Idle eviction: with a tiny TTL the registry's background sweeper
+	// collects an abandoned session on its own — no probe traffic involved.
+	s.ConfigureStream(stream.Config{Window: 4, Stride: 2, IdleTTL: time.Nanosecond, SweepEvery: time.Millisecond})
 	if code, _ := doIngest(t, s, "/ingest", eventsFor(t, traceA, "ghost", false)); code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
-	time.Sleep(time.Millisecond)
-	if resp := doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK); resp["stream_sessions"].(float64) != 0 {
-		t.Fatalf("idle session survived the sweep: %v", resp["stream_sessions"])
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp := doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+		if resp["stream_sessions"].(float64) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle session survived the sweep: %v", resp["stream_sessions"])
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

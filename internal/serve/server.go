@@ -61,6 +61,11 @@ type Server struct {
 	copt core.Options
 	mux  *http.ServeMux
 
+	// handler is what ServeHTTP runs: the bare mux, or the mux wrapped in
+	// the telemetry middleware once ConfigureTelemetry has been called.
+	handler http.Handler
+	tel     *telemetry
+
 	// streams holds the in-flight streaming-ingest sessions (POST /ingest).
 	// Built with defaults in finish; ConfigureStream swaps in tuned bounds
 	// before the server starts accepting requests.
@@ -106,25 +111,31 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/gram", s.handleGram)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/debug/store", s.handleStoreStats)
+	s.handler = s.mux
 }
 
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Close releases the server's background resources (the stream registry's
+// idle sweeper). The server keeps serving if asked, but idle streaming
+// sessions are then only swept on demand.
+func (s *Server) Close() { s.streams.Close() }
 
 // readTraceBody reads, parses, and converts one trace from the request
 // body, writing the HTTP error itself when it returns ok = false.
 func (s *Server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.Trace, token.String, bool) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxTraceBody+1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		httpError(w, r, http.StatusBadRequest, "read body: %v", err)
 		return nil, nil, false
 	}
 	if len(body) > maxTraceBody {
-		httpError(w, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBody)
+		httpError(w, r, http.StatusRequestEntityTooLarge, "trace exceeds %d bytes", maxTraceBody)
 		return nil, nil, false
 	}
 	tr, err := trace.ParseString(string(body))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse trace: %v", err)
+		httpError(w, r, http.StatusBadRequest, "parse trace: %v", err)
 		return nil, nil, false
 	}
 	return tr, core.Convert(tr, s.copt), true
@@ -132,7 +143,7 @@ func (s *Server) readTraceBody(w http.ResponseWriter, r *http.Request) (*trace.T
 
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST a trace in the canonical text format")
+		httpError(w, r, http.StatusMethodNotAllowed, "POST a trace in the canonical text format")
 		return
 	}
 	tr, x, ok := s.readTraceBody(w, r)
@@ -143,10 +154,10 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	if err := s.c.Err(); err != nil {
 		// Ingested in memory but not persisted: tell the client instead of
 		// silently serving state a restart would lose.
-		httpError(w, http.StatusInternalServerError, "trace %d accepted but persistence failed: %v", id, err)
+		httpError(w, r, http.StatusInternalServerError, "trace %d accepted but persistence failed: %v", id, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	writeJSON(w, r, http.StatusCreated, map[string]any{
 		"id":     id,
 		"name":   tr.Name,
 		"tokens": len(x),
@@ -162,29 +173,29 @@ type batchRequest struct {
 
 func (s *Server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, `POST {"traces": ["<trace text>", ...]}`)
+		httpError(w, r, http.StatusMethodNotAllowed, `POST {"traces": ["<trace text>", ...]}`)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBatchBody+1))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		httpError(w, r, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
 	if len(body) > maxBatchBody {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", maxBatchBody)
+		httpError(w, r, http.StatusRequestEntityTooLarge, "batch exceeds %d bytes", maxBatchBody)
 		return
 	}
 	var req batchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, "parse batch JSON: %v", err)
+		httpError(w, r, http.StatusBadRequest, "parse batch JSON: %v", err)
 		return
 	}
 	if len(req.Traces) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		httpError(w, r, http.StatusBadRequest, "empty batch")
 		return
 	}
 	if len(req.Traces) > maxBatchTraces {
-		httpError(w, http.StatusRequestEntityTooLarge, "batch of %d traces exceeds limit %d", len(req.Traces), maxBatchTraces)
+		httpError(w, r, http.StatusRequestEntityTooLarge, "batch of %d traces exceeds limit %d", len(req.Traces), maxBatchTraces)
 		return
 	}
 	// Parse everything before ingesting anything: a batch is all-or-nothing
@@ -200,7 +211,7 @@ func (s *Server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 	for i, text := range req.Traces {
 		tr, err := trace.ParseString(text)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "trace %d: %v", i, err)
+			httpError(w, r, http.StatusBadRequest, "trace %d: %v", i, err)
 			return
 		}
 		xs[i] = core.Convert(tr, s.copt)
@@ -214,13 +225,13 @@ func (s *Server) handleTracesBatch(w http.ResponseWriter, r *http.Request) {
 		err = s.c.Err()
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "batch accepted but persistence failed: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "batch accepted but persistence failed: %v", err)
 		return
 	}
 	for i, id := range ids {
 		metas[i].ID = id
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
+	writeJSON(w, r, http.StatusCreated, map[string]any{
 		"count":  len(ids),
 		"traces": metas,
 	})
@@ -230,15 +241,15 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/traces/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad trace id %q", idStr)
+		httpError(w, r, http.StatusBadRequest, "bad trace id %q", idStr)
 		return
 	}
 	if r.Method != http.MethodDelete {
-		httpError(w, http.StatusMethodNotAllowed, "only DELETE is supported on /traces/{id}")
+		httpError(w, r, http.StatusMethodNotAllowed, "only DELETE is supported on /traces/{id}")
 		return
 	}
 	if err := s.c.Remove(id); err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	// A removed trace can never be a neighbour again, so its label goes with
@@ -247,12 +258,12 @@ func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
 	// reported like every other persistence failure rather than swallowed.
 	if _, ok := s.cls.Registry().LabelOf(id); ok {
 		if err := s.cls.Registry().SetLabel(id, ""); err != nil {
-			httpError(w, http.StatusInternalServerError,
+			httpError(w, r, http.StatusInternalServerError,
 				"trace %d removed but its label could not be dropped: %v", id, err)
 			return
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+	writeJSON(w, r, http.StatusOK, map[string]any{"removed": id})
 }
 
 func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
@@ -262,7 +273,7 @@ func (s *Server) handleSimilar(w http.ResponseWriter, r *http.Request) {
 	case http.MethodPost:
 		s.handleSimilarByTrace(w, r)
 	default:
-		httpError(w, http.StatusMethodNotAllowed,
+		httpError(w, r, http.StatusMethodNotAllowed,
 			"GET /similar?id=&k=[&approx=1&rerank=] or POST /similar with a trace body")
 	}
 }
@@ -293,12 +304,12 @@ func similarParams(r *http.Request) (k, rerank int, err error) {
 func (s *Server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.URL.Query().Get("id"))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad or missing id")
+		httpError(w, r, http.StatusBadRequest, "bad or missing id")
 		return
 	}
 	k, rerank, err := similarParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	approx := r.URL.Query().Get("approx")
@@ -310,26 +321,26 @@ func (s *Server) handleSimilarByID(w http.ResponseWriter, r *http.Request) {
 		// before touching the corpus so the message is always the clear
 		// one rather than whatever error bubbles up.
 		if _, _, enabled := s.c.SketchConfig(); !enabled {
-			httpError(w, http.StatusBadRequest,
+			httpError(w, r, http.StatusBadRequest,
 				"approximate similarity unavailable: sketching is disabled on this server (restart with -sketch-dim > 0, or drop approx=1)")
 			return
 		}
 		ns, err = s.c.SimilarApprox(id, k, rerank)
 		if err != nil {
-			httpError(w, http.StatusNotFound, "%v", err)
+			httpError(w, r, http.StatusNotFound, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		writeJSON(w, r, http.StatusOK, map[string]any{
 			"id": id, "neighbors": nonNil(ns), "approx": true, "rerank": rerank,
 		})
 		return
 	}
 	ns, err = s.c.Similar(id, k)
 	if err != nil {
-		httpError(w, http.StatusNotFound, "%v", err)
+		httpError(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"id": id, "neighbors": nonNil(ns)})
+	writeJSON(w, r, http.StatusOK, map[string]any{"id": id, "neighbors": nonNil(ns)})
 }
 
 // nonNil pins the JSON form of an empty neighbour list to [] rather than
@@ -352,15 +363,15 @@ func (s *Server) handleSimilarByTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	k, rerank, err := similarParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	ns, err := s.c.SimilarTrace(x, k, rerank)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"name":      tr.Name,
 		"tokens":    len(x),
 		"weight":    x.Weight(),
@@ -388,27 +399,27 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		reg := s.cls.Registry()
-		writeJSON(w, http.StatusOK, map[string]any{
+		writeJSON(w, r, http.StatusOK, map[string]any{
 			"labels":  reg.Counts(),
 			"labeled": reg.Len(),
 		})
 	case http.MethodPost:
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxLabelsBody+1))
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "read body: %v", err)
+			httpError(w, r, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
 		if len(body) > maxLabelsBody {
-			httpError(w, http.StatusRequestEntityTooLarge, "labels body exceeds %d bytes", maxLabelsBody)
+			httpError(w, r, http.StatusRequestEntityTooLarge, "labels body exceeds %d bytes", maxLabelsBody)
 			return
 		}
 		var req labelsRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			httpError(w, http.StatusBadRequest, "parse labels JSON: %v", err)
+			httpError(w, r, http.StatusBadRequest, "parse labels JSON: %v", err)
 			return
 		}
 		if len(req.Labels) == 0 {
-			httpError(w, http.StatusBadRequest, `empty assignment (want {"labels": [{"id": 0, "label": "reader"}, ...]})`)
+			httpError(w, r, http.StatusBadRequest, `empty assignment (want {"labels": [{"id": 0, "label": "reader"}, ...]})`)
 			return
 		}
 		// Validate everything before assigning anything: labels are
@@ -419,11 +430,11 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 		for i, e := range req.Labels {
 			if e.Label != "" {
 				if err := classify.ValidLabel(e.Label); err != nil {
-					httpError(w, http.StatusBadRequest, "labels[%d]: %v", i, err)
+					httpError(w, r, http.StatusBadRequest, "labels[%d]: %v", i, err)
 					return
 				}
 				if !s.c.Has(e.ID) {
-					httpError(w, http.StatusNotFound, "labels[%d]: no live trace with id %d", i, e.ID)
+					httpError(w, r, http.StatusNotFound, "labels[%d]: no live trace with id %d", i, e.ID)
 					return
 				}
 			}
@@ -432,7 +443,7 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 		if err := s.cls.Registry().SetLabels(assign); err != nil {
 			// SetLabels is all-or-nothing: on error neither memory nor disk
 			// changed, so say so plainly.
-			httpError(w, http.StatusInternalServerError, "labels not applied: %v", err)
+			httpError(w, r, http.StatusInternalServerError, "labels not applied: %v", err)
 			return
 		}
 		// Close the validate-then-commit race with DELETE /traces/{id}: a
@@ -446,12 +457,12 @@ func (s *Server) handleLabels(w http.ResponseWriter, r *http.Request) {
 				_ = s.cls.Registry().SetLabel(id, "")
 			}
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
+		writeJSON(w, r, http.StatusOK, map[string]any{
 			"assigned": len(assign),
 			"labeled":  s.cls.Registry().Len(),
 		})
 	default:
-		httpError(w, http.StatusMethodNotAllowed,
+		httpError(w, r, http.StatusMethodNotAllowed,
 			`GET /labels or POST {"labels": [{"id": 0, "label": "reader"}, ...]}`)
 	}
 }
@@ -461,23 +472,23 @@ func (s *Server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/labels/")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad label id %q", idStr)
+		httpError(w, r, http.StatusBadRequest, "bad label id %q", idStr)
 		return
 	}
 	if r.Method != http.MethodDelete {
-		httpError(w, http.StatusMethodNotAllowed, "only DELETE is supported on /labels/{id}")
+		httpError(w, r, http.StatusMethodNotAllowed, "only DELETE is supported on /labels/{id}")
 		return
 	}
 	reg := s.cls.Registry()
 	if _, ok := reg.LabelOf(id); !ok {
-		httpError(w, http.StatusNotFound, "no label on id %d", id)
+		httpError(w, r, http.StatusNotFound, "no label on id %d", id)
 		return
 	}
 	if err := reg.SetLabel(id, ""); err != nil {
-		httpError(w, http.StatusInternalServerError, "unlabel not applied: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "unlabel not applied: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": id})
+	writeJSON(w, r, http.StatusOK, map[string]any{"removed": id})
 }
 
 // handleClassify is the paper's application served online: the body is one
@@ -487,7 +498,7 @@ func (s *Server) handleLabelByID(w http.ResponseWriter, r *http.Request) {
 // mode. The trace is never ingested.
 func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST /classify?k=&rerank= with a trace body")
+		httpError(w, r, http.StatusMethodNotAllowed, "POST /classify?k=&rerank= with a trace body")
 		return
 	}
 	tr, x, ok := s.readTraceBody(w, r)
@@ -496,15 +507,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	}
 	k, rerank, err := similarParams(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
 	res, err := s.cls.Classify(x, k, rerank)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, r, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	writeJSON(w, r, http.StatusOK, map[string]any{
 		"name":       tr.Name,
 		"tokens":     len(x),
 		"weight":     x.Weight(),
@@ -518,11 +529,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET /gram")
+		httpError(w, r, http.StatusMethodNotAllowed, "GET /gram")
 		return
 	}
 	if s.eng == nil {
-		httpError(w, http.StatusNotImplemented,
+		httpError(w, r, http.StatusNotImplemented,
 			"no global Gram matrix in sharded mode (%d shards hold no cross-shard entries); use /similar", s.sh.Shards())
 		return
 	}
@@ -536,7 +547,7 @@ func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 		var err error
 		m, ids, clipped, err = s.eng.NormalizedGram()
 		if err != nil {
-			httpError(w, http.StatusInternalServerError, "normalize: %v", err)
+			httpError(w, r, http.StatusInternalServerError, "normalize: %v", err)
 			return
 		}
 		resp["clipped_eigenvalues"] = clipped
@@ -549,13 +560,17 @@ func (s *Server) handleGram(w http.ResponseWriter, r *http.Request) {
 	}
 	resp["ids"] = ids
 	resp["matrix"] = rows
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, r, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	// The health probe doubles as the idle sweep's clock: scrape /healthz
-	// and abandoned streaming sessions free their slots on schedule.
-	s.streams.EvictIdle()
+	// Strictly read-only: idle streaming sessions are swept by the stream
+	// registry's own background ticker, never by probe traffic, so scrape
+	// frequency cannot change session-TTL semantics.
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		httpError(w, r, http.StatusMethodNotAllowed, "GET /healthz")
+		return
+	}
 	resp := map[string]any{"status": "ok", "traces": s.c.Len(), "stream_sessions": s.streams.Len()}
 	if bands, rows, enabled := s.c.ANNConfig(); enabled {
 		resp["ann_bands"] = bands
@@ -584,35 +599,44 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		resp["persistence_error"] = err.Error()
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, resp)
+	writeJSON(w, r, status, resp)
 }
 
 func (s *Server) handleStoreStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET /debug/store")
+		httpError(w, r, http.StatusMethodNotAllowed, "GET /debug/store")
 		return
 	}
 	if s.sh != nil && s.sh.Durable() {
 		// One stats object per shard: each has its own WAL, snapshot chain,
 		// and replay backlog.
-		writeJSON(w, http.StatusOK, map[string]any{"shards": s.sh.Stats()})
+		writeJSON(w, r, http.StatusOK, map[string]any{"shards": s.sh.Stats()})
 		return
 	}
 	if s.st == nil {
-		httpError(w, http.StatusNotFound, "no store attached (run with --data-dir)")
+		httpError(w, r, http.StatusNotFound, "no store attached (run with --data-dir)")
 		return
 	}
-	writeJSON(w, http.StatusOK, s.st.Stats())
+	writeJSON(w, r, http.StatusOK, s.st.Stats())
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
+// writeJSON writes v as an indented JSON response. Encoding failures
+// cannot be reported to the client (the status line is already out), so
+// they go to the request's structured logger — usually a client that hung
+// up mid-response, but also the only trace of a genuinely unencodable
+// value.
+func writeJSON(w http.ResponseWriter, r *http.Request, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		if lg := requestLogger(r); lg != nil {
+			lg.Warn("response encode failed", "status", status, "err", err)
+		}
+	}
 }
 
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]any{"error": fmt.Sprintf(format, args...)})
+func httpError(w http.ResponseWriter, r *http.Request, status int, format string, args ...any) {
+	writeJSON(w, r, status, map[string]any{"error": fmt.Sprintf(format, args...)})
 }

@@ -34,7 +34,7 @@ func testServer() *Server {
 	return New(eng, nil, nil, core.Options{})
 }
 
-func doJSON(t *testing.T, h http.Handler, method, target, body string, wantStatus int) map[string]any {
+func doJSON(t testing.TB, h http.Handler, method, target, body string, wantStatus int) map[string]any {
 	t.Helper()
 	var r *http.Request
 	if body == "" {

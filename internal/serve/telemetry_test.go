@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"iokast/internal/obs"
+	"iokast/internal/stream"
+)
+
+// TestHealthzMethodCheckedAndReadOnly pins the /healthz contract: GET and
+// HEAD only, and probing never mutates state — an expired streaming
+// session survives any number of probes when the background sweeper is
+// off, where the old behaviour would have evicted it on the first one.
+func TestHealthzMethodCheckedAndReadOnly(t *testing.T) {
+	s := testServer()
+	defer s.Close()
+	seedLabeled(t, s)
+	s.ConfigureStream(stream.Config{Window: 4, Stride: 2, IdleTTL: time.Nanosecond, SweepEvery: -1})
+
+	if code, _ := doIngest(t, s, "/ingest", eventsFor(t, traceA, "probe-bait", false)); code != http.StatusOK {
+		t.Fatalf("ingest status %d", code)
+	}
+	time.Sleep(time.Millisecond) // the session is now long past its TTL
+	for i := 0; i < 3; i++ {
+		resp := doJSON(t, s, http.MethodGet, "/healthz", "", http.StatusOK)
+		if resp["stream_sessions"].(float64) != 1 {
+			t.Fatalf("probe %d evicted the session: %v", i, resp["stream_sessions"])
+		}
+	}
+
+	doJSON(t, s, http.MethodPost, "/healthz", "", http.StatusMethodNotAllowed)
+	doJSON(t, s, http.MethodDelete, "/healthz", "", http.StatusMethodNotAllowed)
+	req := httptest.NewRequest(http.MethodHead, "/healthz", nil)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("HEAD /healthz: %d", w.Code)
+	}
+}
+
+// TestTelemetryMiddleware covers the instrumented handler chain: request
+// ids (generated and echoed), per-endpoint counters and latency series,
+// the gauges, and the /metrics route itself.
+func TestTelemetryMiddleware(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := testServer()
+	defer s.Close()
+	s.ConfigureTelemetry(Telemetry{Registry: reg})
+
+	r := httptest.NewRequest(http.MethodPost, "/traces", strings.NewReader(traceA))
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("POST /traces: %d %s", w.Code, w.Body)
+	}
+	if w.Header().Get("X-Request-Id") == "" {
+		t.Fatal("no X-Request-Id on the response")
+	}
+
+	// A client-supplied id is kept, so ids correlate across proxies.
+	r = httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	r.Header.Set("X-Request-Id", "upstream-42")
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if got := w.Header().Get("X-Request-Id"); got != "upstream-42" {
+		t.Fatalf("request id not echoed: %q", got)
+	}
+
+	// Unroutable paths collapse into the bounded "other" label.
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/nope/123", nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("GET /nope/123: %d", w.Code)
+	}
+
+	w = httptest.NewRecorder()
+	s.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics: %d %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body := w.Body.String()
+	for _, line := range []string{
+		`iok_http_requests_total{endpoint="/traces",method="POST",status="201"} 1`,
+		`iok_http_requests_total{endpoint="/healthz",method="GET",status="200"} 1`,
+		`iok_http_requests_total{endpoint="other",method="GET",status="404"} 1`,
+		`iok_http_request_seconds_count{endpoint="/traces"} 1`,
+		`iok_http_inflight_requests 1`, // this very scrape is in flight
+		`iok_corpus_traces 1`,
+		`iok_stream_live_sessions 0`,
+	} {
+		if !strings.Contains(body, line) {
+			t.Errorf("exposition missing %q:\n%s", line, body)
+		}
+	}
+}
+
+// TestEndpointLabel pins the normalisation table: client-chosen ids never
+// mint new label values.
+func TestEndpointLabel(t *testing.T) {
+	for path, want := range map[string]string{
+		"/traces":         "/traces",
+		"/traces/batch":   "/traces/batch",
+		"/traces/123":     "/traces/{id}",
+		"/labels":         "/labels",
+		"/labels/9":       "/labels/{id}",
+		"/similar":        "/similar",
+		"/classify":       "/classify",
+		"/ingest":         "/ingest",
+		"/gram":           "/gram",
+		"/healthz":        "/healthz",
+		"/metrics":        "/metrics",
+		"/debug/store":    "/debug/store",
+		"/debug/pprof/":   "other",
+		"/":               "other",
+		"/traces2/deep/x": "other",
+	} {
+		if got := endpointLabel(path); got != want {
+			t.Errorf("endpointLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+// BenchmarkMetricsOverhead measures the telemetry middleware's cost on
+// the /classify hot path: bare mux vs the fully instrumented chain. The
+// CI bench gate holds the instrumented variant within a few percent of
+// the bare one (acceptance: < 5% overhead).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	for _, mode := range []string{"bare", "instrumented"} {
+		b.Run(mode, func(b *testing.B) {
+			s := testServer()
+			defer s.Close()
+			seedLabeled(b, s)
+			if mode == "instrumented" {
+				s.ConfigureTelemetry(Telemetry{Registry: obs.NewRegistry()})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r := httptest.NewRequest(http.MethodPost, "/classify?k=2", strings.NewReader(traceB))
+				w := httptest.NewRecorder()
+				s.ServeHTTP(w, r)
+				if w.Code != http.StatusOK {
+					b.Fatalf("classify status %d: %s", w.Code, w.Body)
+				}
+			}
+		})
+	}
+}

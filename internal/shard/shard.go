@@ -5,10 +5,13 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
+	"time"
 
 	"iokast/internal/engine"
 	"iokast/internal/kernel"
+	"iokast/internal/obs"
 	"iokast/internal/store"
 	"iokast/internal/token"
 )
@@ -28,6 +31,11 @@ type Options struct {
 	// Store configures every shard's persistence (snapshot cadence, fsync
 	// policy). Ignored by New (in-memory corpora have no stores).
 	Store store.Options
+	// Obs, when non-nil, registers per-shard telemetry on the registry:
+	// engine/sketch/store families labelled shard="N", per-shard fan-out
+	// latency histograms, and degraded/size gauges. Any Metrics already
+	// set in Engine or Store are overridden by the labelled ones.
+	Obs *obs.Registry
 }
 
 // loc places one global id inside its owner shard.
@@ -62,6 +70,8 @@ type Sharded struct {
 	locals   []loc   // global id -> owner shard and local id
 	globals  [][]int // per shard: local id -> global id
 	repaired int     // tombstone slots plugged while reconciling a torn batch
+
+	fanoutSec []*obs.Histogram // per-shard fan-out latency; nil = no telemetry
 }
 
 // New returns an in-memory sharded corpus: engines only, no manifest, no
@@ -102,6 +112,21 @@ func open(dir string, opt Options) (*Sharded, error) {
 	man := manifest{shards: n, seed: opt.Seed, kernel: probe.Kernel().Name()}
 	man.sketchDim, man.sketchSeed, man.sketch = probe.SketchConfig()
 
+	// Per-shard option copies: with a registry attached, every shard's
+	// engine, sketch index, and store get their own shard="N"-labelled
+	// instruments (the registry's get-or-create makes re-registration
+	// after a reopen a no-op).
+	eopts := make([]engine.Options, n)
+	sopts := make([]store.Options, n)
+	for i := 0; i < n; i++ {
+		eopts[i], sopts[i] = opt.Engine, opt.Store
+		if opt.Obs != nil {
+			labels := obs.Labels{"shard": strconv.Itoa(i)}
+			eopts[i].Metrics = engine.NewMetrics(opt.Obs, labels)
+			sopts[i].Metrics = store.NewMetrics(opt.Obs, labels)
+		}
+	}
+
 	s := &Sharded{
 		n: n, seed: opt.Seed, dir: dir,
 		engines: make([]*engine.Engine, n),
@@ -110,7 +135,7 @@ func open(dir string, opt Options) (*Sharded, error) {
 	}
 	if dir == "" {
 		for i := range s.engines {
-			s.engines[i] = engine.New(opt.Engine)
+			s.engines[i] = engine.New(eopts[i])
 		}
 	} else {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -127,7 +152,7 @@ func open(dir string, opt Options) (*Sharded, error) {
 				defer wg.Done()
 				sub := filepath.Join(dir, ShardDir(i))
 				s.engines[i], s.stores[i], errs[i] = store.Open(sub,
-					func() *engine.Engine { return engine.New(opt.Engine) }, opt.Store)
+					func() *engine.Engine { return engine.New(eopts[i]) }, sopts[i])
 			}(i)
 		}
 		wg.Wait()
@@ -146,7 +171,42 @@ func open(dir string, opt Options) (*Sharded, error) {
 		s.closeStores()
 		return nil, err
 	}
+	if opt.Obs != nil {
+		s.registerMetrics(opt.Obs)
+	}
 	return s, nil
+}
+
+// registerMetrics registers the shard-level telemetry: per-shard fan-out
+// latency histograms and per-shard health/size gauges sampled at scrape
+// time.
+func (s *Sharded) registerMetrics(reg *obs.Registry) {
+	s.fanoutSec = make([]*obs.Histogram, s.n)
+	for i := 0; i < s.n; i++ {
+		labels := obs.Labels{"shard": strconv.Itoa(i)}
+		s.fanoutSec[i] = reg.Histogram("iok_shard_fanout_seconds", "Per-shard similarity fan-out latency.", labels)
+		eng := s.engines[i]
+		reg.GaugeFunc("iok_shard_degraded", "1 when the shard's persistence carries a sticky error.", labels, func() float64 {
+			if eng.Err() != nil {
+				return 1
+			}
+			return 0
+		})
+		reg.GaugeFunc("iok_shard_traces", "Live traces owned by the shard.", labels, func() float64 {
+			return float64(eng.Len())
+		})
+	}
+}
+
+// InternerSize returns the total number of distinct literals across the
+// per-shard interner tables (the corpus-memory gauge of the sharded
+// corpus; see engine.InternerSize).
+func (s *Sharded) InternerSize() int {
+	total := 0
+	for _, e := range s.engines {
+		total += e.InternerSize()
+	}
+	return total
 }
 
 // ShardDir names the store subdirectory of one shard inside a sharded data
@@ -415,7 +475,14 @@ func (s *Sharded) fanOut(tq *engine.TraceQuery, k, rerank, skip int) ([][]engine
 		wg.Add(1)
 		go func(sh int) {
 			defer wg.Done()
+			var t0 time.Time
+			if s.fanoutSec != nil {
+				t0 = time.Now()
+			}
 			res[sh], errs[sh] = s.engines[sh].SimilarTracePrepared(tq, k, rerank)
+			if s.fanoutSec != nil {
+				s.fanoutSec[sh].Observe(time.Since(t0))
+			}
 		}(sh)
 	}
 	wg.Wait()

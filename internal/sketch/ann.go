@@ -336,6 +336,7 @@ func (ix *Index) SelfQuery(id int) *Query {
 
 func (ix *Index) searchQueryLocked(q *Query, k, exclude int) []Candidate {
 	a := ix.ann
+	ix.met.Searches.Inc()
 	// reachable is the number of entries a scan can return: the flat
 	// fallback must kick in exactly when k covers them all, so that
 	// full-rerank queries (including by-id queries excluding themselves)
@@ -345,6 +346,7 @@ func (ix *Index) searchQueryLocked(q *Query, k, exclude int) []Candidate {
 		reachable--
 	}
 	if a == nil || q.sig == nil || len(q.sig) != a.bands || k < 0 || k >= reachable {
+		ix.met.FlatFallbacks.Inc()
 		return ix.searchFlatLocked(q.Vec, k, exclude)
 	}
 
@@ -361,10 +363,12 @@ func (ix *Index) searchQueryLocked(q *Query, k, exclude int) []Candidate {
 			}
 		}
 	}
+	ix.met.PoolCandidates.Add(int64(len(pool)))
 	if len(pool) < k {
 		// The bands found fewer candidates than requested; the flat scan
 		// is both necessary for k results and barely more expensive than
 		// the pool it would have replaced.
+		ix.met.FlatFallbacks.Inc()
 		return ix.searchFlatLocked(q.Vec, k, exclude)
 	}
 

@@ -21,7 +21,8 @@ type Index struct {
 	dim  int
 	vecs [][]float64 // id-indexed; nil = never added or removed
 	live int
-	ann  *annState // nil = flat index
+	ann  *annState    // nil = flat index
+	met  IndexMetrics // search telemetry; zero value = disabled
 }
 
 // Candidate is one search result: an id and its sketch score (the cosine

@@ -1,0 +1,35 @@
+package sketch
+
+import "iokast/internal/obs"
+
+// IndexMetrics are the index's search telemetry hooks. The zero value
+// disables them (obs instruments are nil-safe), so uninstrumented
+// indexes pay one nil check per search.
+type IndexMetrics struct {
+	// Searches counts candidate generations (banded or flat).
+	Searches *obs.Counter
+	// PoolCandidates counts banded candidate-pool members scanned;
+	// PoolCandidates/Searches is the mean pool size, the number that
+	// decides whether ANN is actually sublinear on this corpus.
+	PoolCandidates *obs.Counter
+	// FlatFallbacks counts searches that degraded to the exact flat scan
+	// (flat index, covering k, missing byproducts, or a thin pool).
+	FlatFallbacks *obs.Counter
+}
+
+// NewIndexMetrics registers the sketch index family on reg.
+func NewIndexMetrics(reg *obs.Registry, labels obs.Labels) IndexMetrics {
+	return IndexMetrics{
+		Searches:       reg.Counter("iok_sketch_searches_total", "Sketch-index candidate generations.", labels),
+		PoolCandidates: reg.Counter("iok_sketch_pool_candidates_total", "Banded candidate-pool members scanned.", labels),
+		FlatFallbacks:  reg.Counter("iok_sketch_flat_fallbacks_total", "Searches degraded to the exact flat scan.", labels),
+	}
+}
+
+// SetMetrics attaches telemetry to the index. Call before serving;
+// searches read the hooks under the index lock.
+func (ix *Index) SetMetrics(m IndexMetrics) {
+	ix.mu.Lock()
+	ix.met = m
+	ix.mu.Unlock()
+}

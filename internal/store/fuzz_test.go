@@ -89,7 +89,7 @@ func FuzzWALTailTruncation(f *testing.F) {
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		eng := kastEngine()
-		torn, err := replaySegment(eng, segment{start: 0, path: writeTempSegment(t, data)}, 0)
+		torn, err := (&Store{}).replaySegment(eng, segment{start: 0, path: writeTempSegment(t, data)}, 0)
 		if err != nil {
 			// Only sequencing errors (id mismatches) are allowed to surface;
 			// they must be deterministic, not panics. Anything CRC-invalid

@@ -1,0 +1,39 @@
+package store
+
+import "iokast/internal/obs"
+
+// Metrics are the store's telemetry hooks. The zero value disables
+// telemetry: every instrument is nil and obs instruments are nil-safe,
+// so an unconfigured store pays nothing on the durability path.
+type Metrics struct {
+	// WALAppends counts records appended to the WAL.
+	WALAppends *obs.Counter
+	// WALBytes counts bytes appended to the WAL (frame included).
+	WALBytes *obs.Counter
+	// FsyncSeconds is the latency of the per-append fsync (absent under
+	// NoSync). This is the floor under every acknowledged mutation.
+	FsyncSeconds *obs.Histogram
+	// Snapshots counts snapshots written.
+	Snapshots *obs.Counter
+	// SnapshotSeconds is the wall time of each snapshot write.
+	SnapshotSeconds *obs.Histogram
+	// SnapshotBytes is the size of the newest snapshot.
+	SnapshotBytes *obs.Gauge
+	// ReplayRecords counts WAL records applied during recovery.
+	ReplayRecords *obs.Counter
+}
+
+// NewMetrics registers the store family on reg. labels (e.g. the shard
+// number) distinguish multiple stores in one process; series are
+// get-or-create, so shards sharing labels share counters.
+func NewMetrics(reg *obs.Registry, labels obs.Labels) Metrics {
+	return Metrics{
+		WALAppends:      reg.Counter("iok_store_wal_appends_total", "WAL records appended.", labels),
+		WALBytes:        reg.Counter("iok_store_wal_appended_bytes_total", "WAL bytes appended, framing included.", labels),
+		FsyncSeconds:    reg.Histogram("iok_store_fsync_seconds", "Per-append fsync latency.", labels),
+		Snapshots:       reg.Counter("iok_store_snapshots_total", "Snapshots written.", labels),
+		SnapshotSeconds: reg.Histogram("iok_store_snapshot_seconds", "Snapshot write wall time.", labels),
+		SnapshotBytes:   reg.Gauge("iok_store_snapshot_bytes", "Size of the newest snapshot.", labels),
+		ReplayRecords:   reg.Counter("iok_store_replay_records_total", "WAL records applied during recovery.", labels),
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"iokast/internal/engine"
 	"iokast/internal/token"
@@ -42,6 +43,8 @@ type Options struct {
 	// recent mutations. Process kills lose nothing either way: the data
 	// reaches the kernel on every append.
 	NoSync bool
+	// Metrics are the telemetry hooks; the zero value disables them.
+	Metrics Metrics
 }
 
 // Store is the durability sidecar of one engine: it implements engine.Log
@@ -211,7 +214,7 @@ func (s *Store) recover(newEngine func() *engine.Engine, snaps, segs []segment) 
 				continue
 			}
 		}
-		torn, err := replay(eng, segs, snap.start)
+		torn, err := s.replay(eng, segs, snap.start)
 		if err != nil {
 			lastErr = err
 			continue
@@ -232,7 +235,7 @@ func restoreSnapshot(eng *engine.Engine, path string) (err error) {
 
 // replay applies every record at or after fromSeq. It returns torn=true if
 // it stopped at an unreadable record (everything before it was applied).
-func replay(eng *engine.Engine, segs []segment, fromSeq uint64) (torn bool, err error) {
+func (s *Store) replay(eng *engine.Engine, segs []segment, fromSeq uint64) (torn bool, err error) {
 	for i, seg := range segs {
 		// A segment is entirely superseded if the next one starts at or
 		// before fromSeq.
@@ -242,7 +245,7 @@ func replay(eng *engine.Engine, segs []segment, fromSeq uint64) (torn bool, err 
 		if seg.start > fromSeq && i == 0 {
 			return false, fmt.Errorf("store: replay gap: oldest segment starts at %d, snapshot at %d", seg.start, fromSeq)
 		}
-		torn, err = replaySegment(eng, seg, fromSeq)
+		torn, err = s.replaySegment(eng, seg, fromSeq)
 		if err != nil {
 			return false, err
 		}
@@ -256,7 +259,7 @@ func replay(eng *engine.Engine, segs []segment, fromSeq uint64) (torn bool, err 
 	return false, nil
 }
 
-func replaySegment(eng *engine.Engine, seg segment, fromSeq uint64) (torn bool, err error) {
+func (s *Store) replaySegment(eng *engine.Engine, seg segment, fromSeq uint64) (torn bool, err error) {
 	f, err := os.Open(seg.path)
 	if err != nil {
 		return false, fmt.Errorf("store: %w", err)
@@ -282,6 +285,7 @@ func replaySegment(eng *engine.Engine, seg segment, fromSeq uint64) (torn bool, 
 			if err := apply(eng, rec); err != nil {
 				return false, fmt.Errorf("store: %s at seq %d: %w", seg.path, seq, err)
 			}
+			s.opts.Metrics.ReplayRecords.Inc()
 		default:
 			return false, fmt.Errorf("store: %s: snapshot seq %d splits record [%d,%d)", seg.path, fromSeq, seq, end)
 		}
@@ -350,13 +354,22 @@ func (s *Store) append(rec record) error {
 		return fmt.Errorf("store: append: %w", err)
 	}
 	if !s.opts.NoSync {
+		var t0 time.Time
+		if s.opts.Metrics.FsyncSeconds != nil {
+			t0 = time.Now()
+		}
 		if err := s.f.Sync(); err != nil {
 			return fmt.Errorf("store: sync: %w", err)
+		}
+		if s.opts.Metrics.FsyncSeconds != nil {
+			s.opts.Metrics.FsyncSeconds.Observe(time.Since(t0))
 		}
 	}
 	s.nextSeq += rec.ops()
 	s.appends++
 	s.appBytes += int64(s.buf.Len())
+	s.opts.Metrics.WALAppends.Inc()
+	s.opts.Metrics.WALBytes.Add(int64(s.buf.Len()))
 	if s.opts.SnapshotEvery > 0 && !s.snapQueued &&
 		s.nextSeq-s.snapSeq >= uint64(s.opts.SnapshotEvery) {
 		s.snapQueued = true
@@ -404,6 +417,10 @@ func (s *Store) Snapshot() error {
 // writeSnapshot dumps the engine to snap-<seq>.iok with an atomic rename.
 // Callers must hold snapMu (or be single-threaded, as in Open).
 func (s *Store) writeSnapshot() error {
+	var t0 time.Time
+	if s.opts.Metrics.SnapshotSeconds != nil {
+		t0 = time.Now()
+	}
 	tmp, err := os.CreateTemp(s.dir, "snap-*.tmp")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
@@ -434,6 +451,11 @@ func (s *Store) writeSnapshot() error {
 	s.snapCount++
 	s.snapBytes = size
 	s.mu.Unlock()
+	s.opts.Metrics.Snapshots.Inc()
+	s.opts.Metrics.SnapshotBytes.Set(size)
+	if s.opts.Metrics.SnapshotSeconds != nil {
+		s.opts.Metrics.SnapshotSeconds.Observe(time.Since(t0))
+	}
 	return nil
 }
 

@@ -1,0 +1,30 @@
+package stream
+
+import "iokast/internal/obs"
+
+// Metrics are the streaming layer's telemetry hooks. The zero value
+// disables them (obs instruments are nil-safe). Live-session counts are
+// a registry property, not a counter, so the serving layer exposes them
+// as a gauge sampled from Registry.Len.
+type Metrics struct {
+	// Sessions counts sessions started.
+	Sessions *obs.Counter
+	// WindowTicks counts window classifications emitted (cached or not).
+	WindowTicks *obs.Counter
+	// CacheHits counts window ticks answered by the epsilon re-embed
+	// gate without a kernel classification; CacheHits/WindowTicks is the
+	// gate's hit rate, the number that says whether Epsilon is tuned.
+	CacheHits *obs.Counter
+	// Evictions counts sessions dropped by the idle sweep.
+	Evictions *obs.Counter
+}
+
+// NewMetrics registers the stream family on reg.
+func NewMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		Sessions:    reg.Counter("iok_stream_sessions_total", "Streaming sessions started.", nil),
+		WindowTicks: reg.Counter("iok_stream_window_ticks_total", "Window classifications emitted.", nil),
+		CacheHits:   reg.Counter("iok_stream_cache_hits_total", "Window ticks served by the epsilon re-embed gate.", nil),
+		Evictions:   reg.Counter("iok_stream_evictions_total", "Sessions dropped by the idle sweep.", nil),
+	}
+}

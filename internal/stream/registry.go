@@ -3,24 +3,63 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Registry owns the in-flight sessions: bounded creation, lookup, and
 // idle eviction. It is safe for concurrent use.
+//
+// Idle eviction runs on a background ticker owned by the registry (see
+// Config.SweepEvery), not on health probes: scrape frequency must never
+// control session TTL semantics. Get additionally sweeps on demand
+// before refusing a new session, so an abandoned firehose frees its
+// slot even if the sweeper has not come around yet.
 type Registry struct {
 	cfg Config
 
 	mu       sync.Mutex
 	sessions map[string]*Session
+
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
-// NewRegistry builds a registry over the config (defaults applied).
-// Config.Classifier must be set.
+// NewRegistry builds a registry over the config (defaults applied) and
+// starts its idle sweeper unless SweepEvery is negative. Call Close to
+// stop the sweeper when the registry is replaced or discarded.
 func NewRegistry(cfg Config) *Registry {
 	if cfg.Classifier == nil {
 		panic("stream: NewRegistry without a classifier")
 	}
-	return &Registry{cfg: cfg.withDefaults(), sessions: make(map[string]*Session)}
+	r := &Registry{
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[string]*Session),
+		done:     make(chan struct{}),
+	}
+	if r.cfg.SweepEvery > 0 {
+		go r.sweep()
+	}
+	return r
+}
+
+// sweep evicts idle sessions every SweepEvery until Close.
+func (r *Registry) sweep() {
+	t := time.NewTicker(r.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			r.EvictIdle()
+		case <-r.done:
+			return
+		}
+	}
+}
+
+// Close stops the background sweeper. Sessions are left in place (the
+// registry remains usable without a sweeper); safe to call twice.
+func (r *Registry) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
 }
 
 // Config returns the registry's effective (default-applied) config.
@@ -49,6 +88,7 @@ func (r *Registry) Get(name string) (*Session, error) {
 	}
 	s := newSession(name, &r.cfg)
 	r.sessions[name] = s
+	r.cfg.Metrics.Sessions.Inc()
 	return s, nil
 }
 
@@ -60,8 +100,8 @@ func (r *Registry) Remove(name string) {
 }
 
 // EvictIdle sweeps sessions idle longer than IdleTTL and reports how
-// many were dropped. Get runs the same sweep before refusing a new
-// session, so an abandoned firehose frees its slot on the next demand.
+// many were dropped. The background sweeper calls this on its ticker;
+// Get runs the same sweep before refusing a new session.
 func (r *Registry) EvictIdle() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -77,5 +117,6 @@ func (r *Registry) evictIdleLocked() int {
 			n++
 		}
 	}
+	r.cfg.Metrics.Evictions.Add(int64(n))
 	return n
 }

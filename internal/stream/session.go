@@ -61,6 +61,12 @@ type Config struct {
 	// default-width sketcher. The gate is internal to the session, so
 	// this does not need to match the corpus sketch configuration.
 	Sketcher *sketch.Sketcher
+	// SweepEvery is the background idle-sweep period; 0 means IdleTTL/4
+	// (clamped to at least a second), negative disables the sweeper
+	// (Get still sweeps on demand before refusing a new session).
+	SweepEvery time.Duration
+	// Metrics are the telemetry hooks; the zero value disables them.
+	Metrics Metrics
 	// now overrides time.Now for idle-eviction tests.
 	now func() time.Time
 }
@@ -89,6 +95,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Sketcher == nil {
 		c.Sketcher = sketch.New(sketch.Options{})
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = c.IdleTTL / 4
+		if c.SweepEvery < time.Second {
+			c.SweepEvery = time.Second
+		}
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -209,12 +221,14 @@ func (s *Session) Feed(ev Event, k, rerank int) (*Result, error) {
 // the window still looks like the last one classified.
 func (s *Session) classifyWindowLocked(k, rerank int) (*Result, error) {
 	s.seq++
+	s.cfg.Metrics.WindowTicks.Inc()
 	vec := s.accum.Vector()
 	if s.lastRes != nil && s.cfg.Epsilon > 0 && sketch.Dot(vec, s.lastVec) >= 1-s.cfg.Epsilon {
 		out := *s.lastRes
 		out.Seq = s.seq
 		out.Ops = len(s.ops)
 		out.Cached = true
+		s.cfg.Metrics.CacheHits.Inc()
 		return &out, nil
 	}
 	lo := len(s.ops) - s.cfg.Window

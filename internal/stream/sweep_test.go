@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"iokast/internal/obs"
+)
+
+// TestBackgroundSweep pins satellite semantics: idle sessions are
+// evicted by the registry's own ticker, with no health probe or Get
+// call involved.
+func TestBackgroundSweep(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Classifier:  newTestClassifier(t),
+		MaxSessions: 4,
+		IdleTTL:     time.Minute,
+		SweepEvery:  5 * time.Millisecond,
+		Metrics:     NewMetrics(reg),
+		now:         clock,
+	}
+	r := NewRegistry(cfg)
+	defer r.Close()
+
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for r.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background sweeper never evicted the idle session")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := cfg.Metrics.Evictions.Value(); got < 1 {
+		t.Fatalf("evictions counter = %d, want >= 1", got)
+	}
+	if got := cfg.Metrics.Sessions.Value(); got != 1 {
+		t.Fatalf("sessions counter = %d, want 1", got)
+	}
+
+	// Close stops the sweeper; an idle session now outlives its TTL.
+	r.Close()
+	r.Close() // idempotent
+	if _, err := r.Get("b"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	time.Sleep(30 * time.Millisecond)
+	if r.Len() != 1 {
+		t.Fatalf("len after Close = %d, want 1 (no sweeping)", r.Len())
+	}
+}
+
+// TestSweepDisabled pins that a negative SweepEvery starts no sweeper
+// while Get's on-demand sweep still works.
+func TestSweepDisabled(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	cfg := Config{
+		Classifier:  newTestClassifier(t),
+		MaxSessions: 1,
+		IdleTTL:     time.Minute,
+		SweepEvery:  -1,
+		now: func() time.Time {
+			mu.Lock()
+			defer mu.Unlock()
+			return now
+		},
+	}
+	r := NewRegistry(cfg)
+	defer r.Close()
+	if _, err := r.Get("a"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	time.Sleep(20 * time.Millisecond)
+	if r.Len() != 1 {
+		t.Fatal("session evicted with the sweeper disabled")
+	}
+	// Get at the session cap sweeps on demand.
+	if _, err := r.Get("b"); err != nil {
+		t.Fatalf("get after on-demand sweep: %v", err)
+	}
+}
