@@ -132,8 +132,10 @@ type family struct {
 // get-or-create — asking twice for the same name and labels returns the
 // same instrument, which is how shard-shared counters (every shard's
 // engine pointing at one iok_engine_adds_total) fall out for free.
-// Registering the same name with a different type or help panics:
-// that is a wiring bug, and wiring runs once at startup.
+// Func-backed series (GaugeFunc/CounterFunc) are last-wins instead:
+// re-registering replaces the sampling func. Registering the same name
+// with a different type or help panics: that is a wiring bug, and
+// wiring runs once at startup.
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
@@ -145,16 +147,22 @@ func NewRegistry() *Registry {
 }
 
 // getSeries returns the series for name+labels, creating family and
-// series as needed. Panics on type/help conflicts.
+// series as needed. Panics on type/help conflicts. Callers must hold
+// r.mu: series fields are published to WriteText's snapshot under the
+// same lock, so instrument assignment has to stay inside the critical
+// section too.
 func (r *Registry) getSeries(name, help, kind string, labels Labels) *series {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	f := r.families[name]
 	if f == nil {
 		f = &family{name: name, help: help, kind: kind, series: map[string]*series{}}
 		r.families[name] = f
-	} else if f.kind != kind {
-		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	} else {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("obs: metric %q registered with help %q, requested with %q", name, f.help, help))
+		}
 	}
 	key := renderLabels(labels)
 	s := f.series[key]
@@ -167,6 +175,8 @@ func (r *Registry) getSeries(name, help, kind string, labels Labels) *series {
 
 // Counter returns the counter for name+labels, creating it on first use.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.getSeries(name, help, kindCounter, labels)
 	if s.fn != nil {
 		panic(fmt.Sprintf("obs: counter %q%s already registered as a func", name, s.labels))
@@ -179,6 +189,8 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 
 // Gauge returns the gauge for name+labels, creating it on first use.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.getSeries(name, help, kindGauge, labels)
 	if s.fn != nil {
 		panic(fmt.Sprintf("obs: gauge %q%s already registered as a func", name, s.labels))
@@ -192,6 +204,8 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // Histogram returns the histogram for name+labels, creating it on first
 // use.
 func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.getSeries(name, help, kindHistogram, labels)
 	if s.hist == nil {
 		s.hist = &Histogram{}
@@ -202,22 +216,29 @@ func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 // GaugeFunc registers a gauge whose value is sampled by calling f at
 // exposition time — for values something else already owns (corpus
 // size, interner size, live sessions) where mirroring into a Gauge
-// would just invite drift.
+// would just invite drift. Registering the same series again replaces
+// the sampling func (last-wins), so a layer closed and reopened against
+// the same registry samples the live object, not a stale closure.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.getSeries(name, help, kindGauge, labels)
-	if s.gauge != nil || (s.fn != nil && f != nil) {
-		panic(fmt.Sprintf("obs: gauge %q%s registered twice", name, s.labels))
+	if s.gauge != nil {
+		panic(fmt.Sprintf("obs: gauge %q%s already registered as an instrument", name, s.labels))
 	}
 	s.fn = f
 }
 
 // CounterFunc registers a counter sampled by calling f at exposition
 // time. f must be monotone for the exposition to be honest; the
-// registry cannot check that.
+// registry cannot check that. Re-registration replaces the sampling
+// func, like GaugeFunc.
 func (r *Registry) CounterFunc(name, help string, labels Labels, f func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := r.getSeries(name, help, kindCounter, labels)
-	if s.counter != nil || (s.fn != nil && f != nil) {
-		panic(fmt.Sprintf("obs: counter %q%s registered twice", name, s.labels))
+	if s.counter != nil {
+		panic(fmt.Sprintf("obs: counter %q%s already registered as an instrument", name, s.labels))
 	}
 	s.fn = f
 }

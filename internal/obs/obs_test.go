@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -119,6 +122,83 @@ func TestWriteTextFormat(t *testing.T) {
 	if sb2.String() != out {
 		t.Fatal("WriteText is not deterministic")
 	}
+}
+
+// TestWriteTextConcurrentWithRegistration pins the scrape/registration
+// race: series are created lazily at request time (the serve middleware
+// mints a counter for each new endpoint/method/status), so a /metrics
+// render must not iterate the live series maps after dropping the
+// registry lock. Under -race this fails loudly without the snapshot;
+// even without -race a concurrent map read/write fatals the runtime.
+func TestWriteTextConcurrentWithRegistration(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			l := Labels{"i": strconv.Itoa(i % 128)}
+			r.Counter("iok_race_total", "Racing counter.", l).Inc()
+			r.Histogram("iok_race_seconds", "Racing histogram.", l).Observe(time.Millisecond)
+			r.GaugeFunc("iok_race_live", "Racing sampled gauge.", l, func() float64 { return 1 })
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := r.WriteText(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestFuncSeriesLastWins pins the reopen contract: re-registering a
+// sampled series replaces its func (so closures re-bind to fresh
+// objects), while a series backed by a real instrument stays exclusive.
+func TestFuncSeriesLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("iok_live", "Live objects.", nil, func() float64 { return 1 })
+	r.GaugeFunc("iok_live", "Live objects.", nil, func() float64 { return 2 })
+	r.CounterFunc("iok_seen_total", "Objects seen.", nil, func() float64 { return 3 })
+	r.CounterFunc("iok_seen_total", "Objects seen.", nil, func() float64 { return 4 })
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"iok_live 2", "iok_seen_total 4"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("exposition missing %q (last registration must win):\n%s", want, sb.String())
+		}
+	}
+
+	r.Gauge("iok_g", "An instrument gauge.", nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GaugeFunc over an instrument-backed gauge did not panic")
+		}
+	}()
+	r.GaugeFunc("iok_g", "An instrument gauge.", nil, func() float64 { return 0 })
+}
+
+// TestHelpConflictPanics pins the documented wiring check: two layers
+// disagreeing on a family's help string is a bug, not a silent
+// first-wins.
+func TestHelpConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("iok_h_total", "One help.", nil)
+	r.Counter("iok_h_total", "One help.", nil) // identical re-registration is fine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting help did not panic")
+		}
+	}()
+	r.Counter("iok_h_total", "Another help.", nil)
 }
 
 func TestLabelEscaping(t *testing.T) {

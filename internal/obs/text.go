@@ -12,23 +12,37 @@ import (
 // Handler.
 const ContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// famSnapshot is one family copied out of the registry under its lock:
+// the immutable header plus a value copy of every series. Series are
+// inserted (and their instrument fields assigned) by getSeries under
+// r.mu, so rendering must not touch the live maps or series structs once
+// the lock is dropped — a scrape concurrent with a lazily created
+// request counter would otherwise be a concurrent map read/write.
+type famSnapshot struct {
+	name, help, kind string
+	series           []series
+}
+
 // WriteText renders every registered family in the Prometheus text
 // exposition format (0.0.4): families sorted by name, series sorted by
 // label signature, histograms as cumulative le-buckets in seconds plus
 // _sum and _count. Output is deterministic for a given registry state,
-// which the tests lean on.
+// which the tests lean on. The registry lock is held only while
+// snapshotting, never during instrument reads (atomic / independently
+// locked), fn sampling, or the writes to w.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
-	names := make([]string, 0, len(r.families))
-	for name := range r.families {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	fams := make([]*family, len(names))
-	for i, name := range names {
-		fams[i] = r.families[name]
+	fams := make([]famSnapshot, 0, len(r.families))
+	for _, f := range r.families {
+		fs := famSnapshot{name: f.name, help: f.help, kind: f.kind, series: make([]series, 0, len(f.series))}
+		for _, s := range f.series {
+			fs.series = append(fs.series, *s)
+		}
+		sort.Slice(fs.series, func(i, j int) bool { return fs.series[i].labels < fs.series[j].labels })
+		fams = append(fams, fs)
 	}
 	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 
 	bw := bufio.NewWriter(w)
 	for _, f := range fams {
@@ -45,37 +59,32 @@ func (r *Registry) WriteText(w io.Writer) error {
 		bw.WriteString(f.kind)
 		bw.WriteByte('\n')
 
-		keys := make([]string, 0, len(f.series))
-		for k := range f.series {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			writeSeries(bw, f, f.series[k])
+		for i := range f.series {
+			writeSeries(bw, f.name, &f.series[i])
 		}
 	}
 	return bw.Flush()
 }
 
-// writeSeries renders one labelled series of f.
-func writeSeries(bw *bufio.Writer, f *family, s *series) {
+// writeSeries renders one labelled series of the named family.
+func writeSeries(bw *bufio.Writer, name string, s *series) {
 	switch {
 	case s.hist != nil:
 		buckets, count, sum := s.hist.snapshot()
 		var cum int64
 		for _, b := range buckets {
 			cum += b.Count
-			writeSample(bw, f.name+"_bucket", withLE(s.labels, formatFloat(float64(b.UpperMicros)/1e6)), strconv.FormatInt(cum, 10))
+			writeSample(bw, name+"_bucket", withLE(s.labels, formatFloat(float64(b.UpperMicros)/1e6)), strconv.FormatInt(cum, 10))
 		}
-		writeSample(bw, f.name+"_bucket", withLE(s.labels, "+Inf"), strconv.FormatInt(count, 10))
-		writeSample(bw, f.name+"_sum", s.labels, formatFloat(sum.Seconds()))
-		writeSample(bw, f.name+"_count", s.labels, strconv.FormatInt(count, 10))
+		writeSample(bw, name+"_bucket", withLE(s.labels, "+Inf"), strconv.FormatInt(count, 10))
+		writeSample(bw, name+"_sum", s.labels, formatFloat(sum.Seconds()))
+		writeSample(bw, name+"_count", s.labels, strconv.FormatInt(count, 10))
 	case s.fn != nil:
-		writeSample(bw, f.name, s.labels, formatFloat(s.fn()))
+		writeSample(bw, name, s.labels, formatFloat(s.fn()))
 	case s.counter != nil:
-		writeSample(bw, f.name, s.labels, strconv.FormatInt(s.counter.Value(), 10))
+		writeSample(bw, name, s.labels, strconv.FormatInt(s.counter.Value(), 10))
 	case s.gauge != nil:
-		writeSample(bw, f.name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
+		writeSample(bw, name, s.labels, strconv.FormatInt(s.gauge.Value(), 10))
 	}
 }
 

@@ -191,26 +191,43 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		sr := &statusRecorder{ResponseWriter: w}
 		t.inflight.Inc()
 		start := time.Now()
-		next.ServeHTTP(sr, r)
-		elapsed := time.Since(start)
-		t.inflight.Dec()
+		// Deferred so a panicking handler (recovered per-connection by
+		// net/http) still decrements the in-flight gauge and gets counted
+		// and logged instead of vanishing from the telemetry.
+		panicked := true
+		defer func() {
+			elapsed := time.Since(start)
+			t.inflight.Dec()
 
-		if sr.status == 0 {
-			sr.status = http.StatusOK
-		}
-		t.requestCounter(ep, r.Method, sr.status).Inc()
-		t.latencyHist(ep).Observe(elapsed)
-
-		if lg != nil {
-			lg.Debug("request",
-				"method", r.Method, "endpoint", ep, "path", r.URL.Path,
-				"status", sr.status, "bytes", sr.bytes, "duration", elapsed)
-			if t.cfg.SlowRequest > 0 && elapsed >= t.cfg.SlowRequest {
-				lg.Warn("slow request",
-					"method", r.Method, "endpoint", ep, "path", r.URL.Path,
-					"status", sr.status, "duration", elapsed, "threshold", t.cfg.SlowRequest)
+			if sr.status == 0 {
+				if panicked {
+					sr.status = http.StatusInternalServerError
+				} else {
+					sr.status = http.StatusOK
+				}
 			}
-		}
+			t.requestCounter(ep, r.Method, sr.status).Inc()
+			t.latencyHist(ep).Observe(elapsed)
+
+			if lg != nil {
+				if panicked {
+					lg.Error("request panicked",
+						"method", r.Method, "endpoint", ep, "path", r.URL.Path,
+						"bytes", sr.bytes, "duration", elapsed)
+				} else {
+					lg.Debug("request",
+						"method", r.Method, "endpoint", ep, "path", r.URL.Path,
+						"status", sr.status, "bytes", sr.bytes, "duration", elapsed)
+				}
+				if t.cfg.SlowRequest > 0 && elapsed >= t.cfg.SlowRequest {
+					lg.Warn("slow request",
+						"method", r.Method, "endpoint", ep, "path", r.URL.Path,
+						"status", sr.status, "duration", elapsed, "threshold", t.cfg.SlowRequest)
+				}
+			}
+		}()
+		next.ServeHTTP(sr, r)
+		panicked = false
 	})
 }
 

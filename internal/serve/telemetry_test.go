@@ -101,6 +101,43 @@ func TestTelemetryMiddleware(t *testing.T) {
 	}
 }
 
+// TestTelemetryPanicAccounting pins the middleware's defer path: a
+// handler panic (recovered per-connection by net/http) must still
+// decrement the in-flight gauge, count the request as a 500, and
+// propagate the panic unswallowed.
+func TestTelemetryPanicAccounting(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := testServer()
+	defer s.Close()
+	s.ConfigureTelemetry(Telemetry{Registry: reg})
+
+	h := s.instrument(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		panic("boom")
+	}))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("middleware swallowed the handler panic")
+			}
+		}()
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodPost, "/classify", nil))
+	}()
+
+	var sb strings.Builder
+	if err := reg.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"iok_http_inflight_requests 0",
+		`iok_http_requests_total{endpoint="/classify",method="POST",status="500"} 1`,
+		`iok_http_request_seconds_count{endpoint="/classify"} 1`,
+	} {
+		if !strings.Contains(sb.String(), line) {
+			t.Errorf("exposition missing %q after a handler panic:\n%s", line, sb.String())
+		}
+	}
+}
+
 // TestEndpointLabel pins the normalisation table: client-chosen ids never
 // mint new label values.
 func TestEndpointLabel(t *testing.T) {

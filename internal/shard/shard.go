@@ -114,8 +114,10 @@ func open(dir string, opt Options) (*Sharded, error) {
 
 	// Per-shard option copies: with a registry attached, every shard's
 	// engine, sketch index, and store get their own shard="N"-labelled
-	// instruments (the registry's get-or-create makes re-registration
-	// after a reopen a no-op).
+	// instruments. Reopening against the same registry is safe: the
+	// registry's get-or-create hands back the existing counters and
+	// histograms, and the sampled gauges in registerMetrics are
+	// last-wins, re-binding their closures to the fresh engines.
 	eopts := make([]engine.Options, n)
 	sopts := make([]store.Options, n)
 	for i := 0; i < n; i++ {
@@ -179,7 +181,9 @@ func open(dir string, opt Options) (*Sharded, error) {
 
 // registerMetrics registers the shard-level telemetry: per-shard fan-out
 // latency histograms and per-shard health/size gauges sampled at scrape
-// time.
+// time. GaugeFunc re-registration is last-wins, so a reopen replaces the
+// sampling closures with ones holding the new engine pointers instead of
+// panicking or sampling a closed corpus.
 func (s *Sharded) registerMetrics(reg *obs.Registry) {
 	s.fanoutSec = make([]*obs.Histogram, s.n)
 	for i := 0; i < s.n; i++ {
