@@ -1,0 +1,120 @@
+// Command iokvet runs the repo's static-analysis suite: five analyzers
+// enforcing the determinism, durability, and locking invariants behind
+// the system's bit-identical guarantees (see docs/ARCHITECTURE.md,
+// "Enforced invariants"). CI's analysis job and local runs share this
+// one entry point.
+//
+// Usage:
+//
+//	iokvet [-json] [-list] [-C dir] [packages]
+//
+// With no packages, ./... is checked. Exit status is 0 when clean, 1
+// when findings were reported, 2 on a load or internal error.
+//
+// Intentional exceptions are exempted in place with a directive:
+//
+//	//iokvet:allow <analyzer>(reason)
+//
+// on the flagged line, or on its own line immediately above the
+// flagged statement or declaration. The reason is mandatory; malformed
+// or unknown-analyzer directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"iokast/tools/iokvet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iokvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (for CI annotations)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	dir := fs.String("C", ".", "directory to resolve package patterns in")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: iokvet [-json] [-list] [-C dir] [packages]\n\n")
+		fmt.Fprintf(stderr, "Checks the repo's determinism, durability, and locking invariants.\nWith no packages, ./... is checked. Exit: 0 clean, 1 findings, 2 error.\n\nAnalyzers:\n")
+		for _, a := range iokvet.All() {
+			fmt.Fprintf(stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(stderr, "\nExempt an intentional finding in place, reason mandatory:\n  //iokvet:allow <analyzer>(reason)\non the flagged line or alone on the line above the flagged\nstatement/declaration (above a func covers the whole function).\n\nFlags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range iokvet.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	pkgs, err := iokvet.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "iokvet: %v\n", err)
+		return 2
+	}
+	diags, err := iokvet.Run(pkgs, iokvet.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "iokvet: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer: d.Analyzer,
+				File:     relPath(d.Pos.Filename),
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "iokvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", relPath(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath shortens an absolute filename relative to the working
+// directory when that makes it shorter; CI annotations want
+// repo-relative paths.
+func relPath(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}

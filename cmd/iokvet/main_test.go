@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsAllAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(-list) = %d, stderr: %s", code, stderr.String())
+	}
+	for _, name := range []string{"mapiterorder", "nondeterm", "atomicwrite", "lockscope", "obsnil"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+func TestBadFlagIsUsageError(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run(-no-such-flag) = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: iokvet") {
+		t.Errorf("usage text not printed on flag error:\n%s", stderr.String())
+	}
+}
+
+func TestLoadErrorExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", filepath.Join("testdata", "no-such-dir"), "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("run over missing dir = %d, want 2; stderr: %s", code, stderr.String())
+	}
+}
+
+// TestJSONOverFixture drives the full load→run→report path over the
+// nondeterm fixture module and checks the machine-readable output CI
+// annotations consume.
+func TestJSONOverFixture(t *testing.T) {
+	fixture := filepath.Join("..", "..", "tools", "iokvet", "testdata", "src", "nondeterm")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture, "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run over nondeterm fixture = %d, want 1 (findings); stderr: %s", code, stderr.String())
+	}
+	var diags []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON array: %v\n%s", err, stdout.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("fixture produced zero findings")
+	}
+	for _, d := range diags {
+		if d.Analyzer != "nondeterm" {
+			t.Errorf("unexpected analyzer %q in nondeterm fixture output", d.Analyzer)
+		}
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+	}
+}
+
+// TestTextOverFixture checks the human-readable line format and the
+// findings exit status.
+func TestTextOverFixture(t *testing.T) {
+	fixture := filepath.Join("..", "..", "tools", "iokvet", "testdata", "src", "atomicwrite")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", fixture, "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("run over atomicwrite fixture = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "[atomicwrite]") {
+		t.Errorf("text output missing [atomicwrite] tag:\n%s", stdout.String())
+	}
+}

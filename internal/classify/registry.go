@@ -137,6 +137,7 @@ func (r *Registry) SetLabels(assign map[int]string) error {
 		}
 	}
 	if r.path != "" {
+		//iokvet:allow lockscope(label commits are rare and must serialize with readers: a reader observing new labels before the file is durable would break the crash-recovery contract)
 		if err := store.AtomicWriteFile(r.path, encodeLabels(next)); err != nil {
 			return err
 		}

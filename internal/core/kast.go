@@ -97,7 +97,7 @@ func (k *Kast) compareViews(av, bv seqView) float64 {
 	// anywhere in B; LB[j] symmetric.
 	la, lb := matchLengths(av.ids, bv.ids)
 
-	table := make(map[substringKey]*substringStats, len(av.ids)+len(bv.ids))
+	table := newStatsTable(len(av.ids) + len(bv.ids))
 
 	// Phase 1: register substrings that have a >= cut occurrence, per side.
 	// Occurrence weight grows with length at a fixed start, so only lengths
@@ -126,9 +126,12 @@ func (k *Kast) compareViews(av, bv seqView) float64 {
 	markUncovered(table, av, la, mvA, viable)
 	markUncovered(table, bv, lb, mvB, viable)
 
-	// Phase 5: inner product over surviving features.
+	// Phase 5: inner product over surviving features, accumulated in
+	// registration order — a deterministic function of the inputs — so
+	// the float sum is bit-identical across runs (map order would not
+	// be; iokvet's mapiterorder analyzer enforces this).
 	var sum float64
-	for _, st := range table {
+	for _, st := range table.order {
 		if st.uncovered && viable(st) {
 			sum += float64(st.sumA) * float64(st.sumB)
 		}
@@ -173,6 +176,36 @@ const (
 type substringKey struct {
 	h1, h2 uint64
 	length int32
+}
+
+// statsTable is the shared-substring table plus its insertion order.
+// The order is a deterministic function of the two inputs (registration
+// scans positions and lengths in fixed order), so iterating it — never
+// the map — keeps float accumulation bit-identical across runs.
+type statsTable struct {
+	m     map[substringKey]*substringStats
+	order []*substringStats
+}
+
+func newStatsTable(capHint int) *statsTable {
+	return &statsTable{m: make(map[substringKey]*substringStats, capHint)}
+}
+
+// lookup returns the stats registered for k, or nil.
+func (t *statsTable) lookup(k substringKey) *substringStats {
+	return t.m[k]
+}
+
+// getOrCreate returns the stats for k, registering a fresh entry in
+// insertion order on first sight.
+func (t *statsTable) getOrCreate(k substringKey) *substringStats {
+	st := t.m[k]
+	if st == nil {
+		st = &substringStats{}
+		t.m[k] = st
+		t.order = append(t.order, st)
+	}
+	return st
 }
 
 type substringStats struct {
@@ -284,7 +317,7 @@ func matchLengths(a, b []int32) (la, lb []int32) {
 }
 
 // registerSide inserts phase-1 qualifying occurrences into the table.
-func registerSide(table map[substringKey]*substringStats, v seqView, lens []int32, cut int, via Viability, s side, minLenAt func(seqView, int, int) int) {
+func registerSide(table *statsTable, v seqView, lens []int32, cut int, via Viability, s side, minLenAt func(seqView, int, int) int) {
 	for i := range v.ids {
 		maxLen := int(lens[i])
 		if maxLen == 0 {
@@ -292,11 +325,7 @@ func registerSide(table map[substringKey]*substringStats, v seqView, lens []int3
 		}
 		start := minLenAt(v, i, maxLen)
 		for l := start; l <= maxLen; l++ {
-			st := table[v.key(i, l)]
-			if st == nil {
-				st = &substringStats{}
-				table[v.key(i, l)] = st
-			}
+			st := table.getOrCreate(v.key(i, l))
 			w := v.weight(i, l)
 			if s == sideA {
 				if via == ViaTotalWeight {
@@ -319,12 +348,12 @@ func registerSide(table map[substringKey]*substringStats, v seqView, lens []int3
 
 // accumulateSide adds the weights of every occurrence of already-registered
 // substrings (lookup-only; unregistered substrings cannot become viable).
-func accumulateSide(table map[substringKey]*substringStats, v seqView, lens []int32, s side) {
+func accumulateSide(table *statsTable, v seqView, lens []int32, s side) {
 	for i := range v.ids {
 		maxLen := int(lens[i])
 		for l := 1; l <= maxLen; l++ {
-			st, ok := table[v.key(i, l)]
-			if !ok {
+			st := table.lookup(v.key(i, l))
+			if st == nil {
 				continue
 			}
 			w := int64(v.weight(i, l))
@@ -339,11 +368,11 @@ func accumulateSide(table map[substringKey]*substringStats, v seqView, lens []in
 
 // maxViableLens returns, per start position, the length of the longest
 // viable shared substring starting there (0 if none).
-func maxViableLens(table map[substringKey]*substringStats, v seqView, lens []int32, viable func(*substringStats) bool) []int32 {
+func maxViableLens(table *statsTable, v seqView, lens []int32, viable func(*substringStats) bool) []int32 {
 	out := make([]int32, len(v.ids))
 	for i := range v.ids {
 		for l := int(lens[i]); l >= 1; l-- {
-			if st, ok := table[v.key(i, l)]; ok && viable(st) {
+			if st := table.lookup(v.key(i, l)); st != nil && viable(st) {
 				out[i] = int32(l)
 				break
 			}
@@ -360,7 +389,7 @@ func maxViableLens(table map[substringKey]*substringStats, v seqView, lens []int
 //
 //	prefixReach(i-1) >= i+l  (some earlier start covers it), or
 //	maxViable[i] > l         (a longer viable occurrence at the same start).
-func markUncovered(table map[substringKey]*substringStats, v seqView, lens []int32, maxViable []int32, viable func(*substringStats) bool) {
+func markUncovered(table *statsTable, v seqView, lens []int32, maxViable []int32, viable func(*substringStats) bool) {
 	n := len(v.ids)
 	// prefixReach[i] = max over i' <= i of i' + maxViable[i'] (0 when none).
 	prefixReach := make([]int32, n)
@@ -376,8 +405,8 @@ func markUncovered(table map[substringKey]*substringStats, v seqView, lens []int
 	for i := 0; i < n; i++ {
 		maxLen := int(lens[i])
 		for l := 1; l <= maxLen; l++ {
-			st, ok := table[v.key(i, l)]
-			if !ok || st.uncovered || !viable(st) {
+			st := table.lookup(v.key(i, l))
+			if st == nil || st.uncovered || !viable(st) {
 				continue
 			}
 			end := int32(i + l)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"iokast/internal/token"
@@ -44,9 +45,20 @@ func (k *NaiveKast) Compare(a, b token.String) float64 {
 		}
 	}
 
+	// Iterate shared substrings in sorted-key order everywhere below: the
+	// executable specification must be as bit-deterministic as the
+	// optimised implementation it cross-checks (the final sum is a float
+	// accumulation, and map order would leak into its rounding).
+	keys := make([]string, 0, len(shared))
+	for key := range shared {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
 	// Viability per the selected variant.
 	viable := map[string]bool{}
-	for key, e := range shared {
+	for _, key := range keys {
+		e := shared[key]
 		switch k.Viability {
 		case ViaTotalWeight:
 			viable[key] = totalWeight(e.occsA) >= k.CutWeight && totalWeight(e.occsB) >= k.CutWeight
@@ -57,8 +69,9 @@ func (k *NaiveKast) Compare(a, b token.String) float64 {
 
 	// Collect all viable occurrences per string for the coverage test.
 	var viableOccsA, viableOccsB []occurrence
-	for key, e := range shared {
+	for _, key := range keys {
 		if viable[key] {
+			e := shared[key]
 			viableOccsA = append(viableOccsA, e.occsA...)
 			viableOccsB = append(viableOccsB, e.occsB...)
 		}
@@ -74,7 +87,8 @@ func (k *NaiveKast) Compare(a, b token.String) float64 {
 	}
 
 	var sum float64
-	for key, e := range shared {
+	for _, key := range keys {
+		e := shared[key]
 		if !viable[key] {
 			continue
 		}

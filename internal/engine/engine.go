@@ -178,6 +178,7 @@ func (e *Engine) Add(x token.String) int {
 	rowcol[n] = self
 
 	if e.log != nil {
+		//iokvet:allow lockscope(WAL append under e.mu is the documented durability point: the entry must be logged before any reader can observe it in the gram)
 		if err := e.log.LogAdd(n, ne.x); err != nil && e.logErr == nil {
 			e.logErr = fmt.Errorf("engine: log add %d: %w", n, err)
 		}
@@ -277,6 +278,7 @@ func (e *Engine) AddBatch(xs []token.String) ([]int, error) {
 		for t, ne := range nes {
 			strs[t] = ne.x
 		}
+		//iokvet:allow lockscope(WAL batch append under e.mu is the documented durability point: ids are assigned and logged atomically with respect to readers)
 		if logErr = e.log.LogAddBatch(first, strs); logErr != nil {
 			logErr = fmt.Errorf("engine: log batch at %d: %w", first, logErr)
 			if e.logErr == nil {
@@ -404,6 +406,7 @@ func (e *Engine) Remove(id int) error {
 		return fmt.Errorf("engine: no entry with id %d", id)
 	}
 	if e.log != nil {
+		//iokvet:allow lockscope(WAL remove under e.mu is the documented durability point: the tombstone must be logged before readers can observe the slot as free)
 		if err := e.log.LogRemove(id); err != nil && e.logErr == nil {
 			e.logErr = fmt.Errorf("engine: log remove %d: %w", id, err)
 		}

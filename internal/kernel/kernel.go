@@ -13,6 +13,7 @@ package kernel
 
 import (
 	"math"
+	"sort"
 
 	"iokast/internal/token"
 )
@@ -100,16 +101,25 @@ func Features(k Kernel, x token.String) (feats map[string]float64, ok bool) {
 func DotFeatures(fa, fb map[string]float64) float64 { return dotFeatures(fa, fb) }
 
 // dotFeatures computes the sparse inner product of two feature maps,
-// iterating over the smaller one.
+// iterating over the smaller one. The per-term products are collected and
+// sorted before summation: float addition is not associative, so summing in
+// map-iteration order would make the result vary run to run. Summing the
+// sorted multiset is order-independent (and, ascending, slightly more
+// accurate) at O(m log m) on the intersection only.
 func dotFeatures(fa, fb map[string]float64) float64 {
 	if len(fb) < len(fa) {
 		fa, fb = fb, fa
 	}
-	var s float64
+	products := make([]float64, 0, len(fa))
 	for k, va := range fa {
 		if vb, ok := fb[k]; ok {
-			s += va * vb
+			products = append(products, va*vb)
 		}
+	}
+	sort.Float64s(products)
+	var s float64
+	for _, p := range products {
+		s += p
 	}
 	return s
 }

@@ -1,0 +1,78 @@
+package iokvet
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+)
+
+// wantRE matches `// want` comments carrying one or more backquoted
+// regexps: // want `first` `second`
+var (
+	wantRE     = regexp.MustCompile("//\\s*want\\s+((?:`[^`]+`\\s*)+)$")
+	wantPartRE = regexp.MustCompile("`([^`]+)`")
+)
+
+// expectation is one // want entry, keyed by file:line.
+type expectation struct {
+	pos token.Position
+	re  *regexp.Regexp
+	hit bool
+}
+
+// CheckFixture runs the analyzers over the module rooted at dir and
+// compares the surviving diagnostics against // want comments in the
+// fixture sources (want-comment style, as x/tools' analysistest). It
+// returns one error per mismatch: a diagnostic with no matching want,
+// or a want no diagnostic matched — so a directive-exempted site is
+// asserted simply by carrying no want.
+func CheckFixture(dir string, analyzers ...*Analyzer) []error {
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		return []error{err}
+	}
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					for _, part := range wantPartRE.FindAllStringSubmatch(m[1], -1) {
+						re, err := regexp.Compile(part[1])
+						if err != nil {
+							return []error{fmt.Errorf("%s: bad want regexp: %w", pkg.Fset.Position(c.Pos()), err)}
+						}
+						wants = append(wants, &expectation{pos: pkg.Fset.Position(c.Pos()), re: re})
+					}
+				}
+			}
+		}
+	}
+	diags, err := Run(pkgs, analyzers)
+	if err != nil {
+		return []error{err}
+	}
+	var errs []error
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.pos.Filename == d.Pos.Filename && w.pos.Line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			errs = append(errs, fmt.Errorf("%s: unexpected diagnostic [%s] %s", d.Pos, d.Analyzer, d.Message))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			errs = append(errs, fmt.Errorf("%s: no diagnostic matched want %q", w.pos, w.re))
+		}
+	}
+	return errs
+}

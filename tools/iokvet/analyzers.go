@@ -1,0 +1,69 @@
+package iokvet
+
+// Package sets. Paths are full import paths; fixture modules declare
+// `module iokast` so the same sets hold there.
+var (
+	// determinismPackages may leak no ordering, clock, or ambient state
+	// into persisted bytes, HTTP output, or float rounding: the
+	// bit-identical guarantees (sharded-vs-single, batch-vs-streaming,
+	// crash recovery) run through them.
+	determinismPackages = []string{
+		"iokast/internal/core",
+		"iokast/internal/kernel",
+		"iokast/internal/sketch",
+		"iokast/internal/shard",
+		"iokast/internal/store",
+		"iokast/internal/classify",
+		"iokast/internal/obs",
+		"iokast/internal/engine",
+		"iokast/internal/serve",
+		"iokast/internal/stream",
+	}
+
+	// purePackages are exact functions of their inputs: the paper's
+	// kernel, its embeddings, and the routing/classification on top.
+	purePackages = []string{
+		"iokast/internal/core",
+		"iokast/internal/kernel",
+		"iokast/internal/sketch",
+		"iokast/internal/token",
+		"iokast/internal/ir",
+		"iokast/internal/shard",
+		"iokast/internal/classify",
+	}
+
+	// persistencePackages hold durable data-dir state; writes go through
+	// store.AtomicWriteFile or the WAL writer.
+	persistencePackages = []string{
+		"iokast/internal/store",
+		"iokast/internal/classify",
+		"iokast/internal/shard",
+		"iokast/internal/engine",
+		"iokast/internal/serve",
+		"iokast/internal/stream",
+	}
+
+	// lockedPackages are the components whose mutexes guard hot paths;
+	// blocking while holding one stalls every reader.
+	lockedPackages = []string{
+		"iokast/internal/engine",
+		"iokast/internal/store",
+		"iokast/internal/shard",
+		"iokast/internal/classify",
+		"iokast/internal/sketch",
+		"iokast/internal/obs",
+		"iokast/internal/serve",
+		"iokast/internal/stream",
+	}
+)
+
+// All returns the full suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		MapIterOrder,
+		NonDeterm,
+		AtomicWrite,
+		LockScope,
+		ObsNil,
+	}
+}

@@ -1,0 +1,40 @@
+package iokvet
+
+import "go/ast"
+
+// AtomicWrite requires durable state to reach disk through
+// store.AtomicWriteFile (temp file, fsync, rename) or the WAL writer.
+// A raw os.Create / os.WriteFile / os.Rename / os.OpenFile in a
+// persistence package can leave a torn file that recovery then trusts
+// — exactly the failure mode the MANIFEST/labels discipline exists to
+// close. The primitives inside internal/store that implement the
+// discipline carry //iokvet:allow atomicwrite directives.
+var AtomicWrite = &Analyzer{
+	Name:     "atomicwrite",
+	Doc:      "durable files are written only via store.AtomicWriteFile or the WAL writer",
+	Packages: persistencePackages,
+	Run:      runAtomicWrite,
+}
+
+var rawWriteCalls = map[string]bool{
+	"os.Create":    true,
+	"os.WriteFile": true,
+	"os.Rename":    true,
+	"os.OpenFile":  true,
+}
+
+func runAtomicWrite(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := pass.CalleeName(call); rawWriteCalls[name] {
+				pass.Reportf(call.Pos(), "%s in a persistence package: route durable writes through store.AtomicWriteFile or the WAL writer", name)
+			}
+			return true
+		})
+	}
+	return nil
+}

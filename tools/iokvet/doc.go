@@ -1,0 +1,53 @@
+// Package iokvet is the repo's own static-analysis suite: five analyzers
+// that enforce the determinism, durability, and locking invariants the
+// system's headline guarantees rest on. The invariants are documented in
+// docs/ARCHITECTURE.md ("Enforced invariants"); nothing in the standard
+// toolchain checks them, so iokvet does.
+//
+// The analyzers:
+//
+//   - mapiterorder: a `range` over a map whose body writes to an
+//     io.Writer/encoder, appends to a slice declared outside the loop, or
+//     accumulates floats leaks Go's randomized map order into persisted
+//     bytes, HTTP output, or float rounding. Iterate sorted keys (the
+//     collect-keys-then-sort idiom is recognized and exempt) or
+//     accumulate order-independently.
+//   - nondeterm: the pure kernel/sketch/routing packages must be exact
+//     functions of their inputs — no time.Now/Since/Until, no
+//     os.Getenv/LookupEnv/Environ, no math/rand or crypto/rand imports,
+//     no ambient maphash seeds. Seeded internal/xrand and counter-mode
+//     hashing stay allowed.
+//   - atomicwrite: durable state reaches disk only through
+//     store.AtomicWriteFile or the WAL writer. Raw os.Create /
+//     os.WriteFile / os.Rename / os.OpenFile in the persistence packages
+//     is an error; the blessed primitives inside internal/store carry
+//     directives.
+//   - lockscope: no blocking operation while a mutex is held — fsync,
+//     network dials, HTTP round-trips, time.Sleep, and the in-repo
+//     blockers store.AtomicWriteFile and engine.Log appends — and no
+//     re-entrant acquisition of a mutex already held in the same
+//     function. Intentional holds (the WAL durability point) carry
+//     directives.
+//   - obsnil: obs instruments and registries come from obs.NewRegistry /
+//     Registry.Counter|Gauge|Histogram, never from composite literals or
+//     new() — a hand-built Registry panics on first use, and a detached
+//     instrument silently vanishes from /metrics.
+//
+// # Directives
+//
+// A finding that is intentional is exempted in place:
+//
+//	//iokvet:allow <analyzer>(reason)
+//
+// The reason is mandatory. A trailing directive suppresses the analyzer
+// on its own line; a directive on its own line suppresses the statement
+// or declaration that starts on the next line (a directive above a func
+// declaration covers the whole function). A malformed directive, or one
+// naming an unknown analyzer, is itself reported and cannot be
+// suppressed.
+//
+// The suite is stdlib-only by design: the loader shells out to `go list
+// -export` and type-checks against gc export data, so the root module
+// stays zero-dependency. Run it via `go run ./cmd/iokvet ./...` or the
+// CI analysis job.
+package iokvet

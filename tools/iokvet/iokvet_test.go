@@ -1,0 +1,72 @@
+package iokvet
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs each analyzer over its want-annotated fixture
+// module. Every fixture carries at least one want-positive and one
+// directive-exempted site; an exempted site simply has no want, so a
+// leaking diagnostic fails the run.
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+	}{
+		{"mapiterorder", MapIterOrder},
+		{"nondeterm", NonDeterm},
+		{"atomicwrite", AtomicWrite},
+		{"lockscope", LockScope},
+		{"obsnil", ObsNil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			dir := filepath.Join("testdata", "src", tc.name)
+			for _, err := range CheckFixture(dir, tc.analyzer) {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestAnalyzerMetadata pins the suite's shape: names are unique,
+// docs are set, and the determinism-critical sets name real packages.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" {
+			t.Fatalf("analyzer with empty name or doc: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			t.Fatalf("analyzer %s has no Run", a.Name)
+		}
+	}
+	if len(seen) != 5 {
+		t.Fatalf("want 5 analyzers, have %d", len(seen))
+	}
+}
+
+// TestAppliesTo pins the prefix semantics of package scoping.
+func TestAppliesTo(t *testing.T) {
+	a := &Analyzer{Packages: []string{"iokast/internal/core"}}
+	for path, want := range map[string]bool{
+		"iokast/internal/core":         true,
+		"iokast/internal/core/testpkg": true,
+		"iokast/internal/corelike":     false,
+		"iokast/internal/kernel":       false,
+	} {
+		if got := a.appliesTo(path); got != want {
+			t.Errorf("appliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	all := &Analyzer{}
+	if !all.appliesTo("anything/at/all") {
+		t.Error("empty Packages should apply everywhere")
+	}
+}

@@ -1,0 +1,231 @@
+package iokvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// MapIterOrder flags `range` over a map whose body has an
+// order-sensitive effect: writing to a writer/encoder, appending to a
+// slice declared outside the loop, or accumulating floats. Go
+// randomizes map order per iteration, so any of these leaks
+// nondeterminism into bytes or rounding. The collect-keys-then-sort
+// idiom is recognized: an appended slice that a later statement in the
+// same block passes to a sort-ish call is exempt.
+var MapIterOrder = &Analyzer{
+	Name:     "mapiterorder",
+	Doc:      "no map-iteration order may reach persisted bytes, output writers, or float accumulation",
+	Packages: determinismPackages,
+	Run:      runMapIterOrder,
+}
+
+// writeishMethods are method names whose call inside a map-range body
+// counts as emitting ordered output.
+var writeishMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"WriteTo": true, "Encode": true,
+}
+
+// writeishFuncs are package-level functions that emit ordered output.
+var writeishFuncs = map[string]bool{
+	"fmt.Fprint": true, "fmt.Fprintf": true, "fmt.Fprintln": true,
+	"fmt.Print": true, "fmt.Printf": true, "fmt.Println": true,
+}
+
+var sortishName = regexp.MustCompile(`(?i)sort`)
+
+func runMapIterOrder(pass *Pass) error {
+	pass.InspectStack(func(stack []ast.Node, n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, stack, rs)
+		return true
+	})
+	return nil
+}
+
+// checkMapRangeBody reports the first order-sensitive effect in the
+// loop body (one finding per loop: the fix — iterating sorted keys —
+// is the same whatever the sink).
+func checkMapRangeBody(pass *Pass, stack []ast.Node, rs *ast.RangeStmt) {
+	reported := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reported {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeShortName(n); writeishMethods[name] {
+				pass.Reportf(rs.For, "map iteration order reaches %s call at line %d; iterate sorted keys",
+					name, pass.Fset.Position(n.Pos()).Line)
+				reported = true
+				return false
+			}
+			if full := pass.CalleeName(n); writeishFuncs[full] {
+				pass.Reportf(rs.For, "map iteration order reaches %s call at line %d; iterate sorted keys",
+					full, pass.Fset.Position(n.Pos()).Line)
+				reported = true
+				return false
+			}
+		case *ast.AssignStmt:
+			reported = checkMapRangeAssign(pass, stack, rs, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags float accumulation and unsorted appends to
+// loop-external slices inside a map-range body, reporting true when it
+// emitted a finding.
+func checkMapRangeAssign(pass *Pass, stack []ast.Node, rs *ast.RangeStmt, as *ast.AssignStmt) bool {
+	// sum += x / sum -= x, or sum = sum + x, on a float declared outside
+	// the loop: addition order changes the rounded result.
+	if as.Tok == token.ADD_ASSIGN || as.Tok == token.SUB_ASSIGN || selfBinaryAssign(as) {
+		if id, obj := outerIdent(pass, rs, as.Lhs[0]); id != nil && isFloat(obj.Type()) {
+			pass.Reportf(rs.For, "map iteration order reaches float accumulation into %q at line %d; iterate sorted keys or accumulate order-independently",
+				id.Name, pass.Fset.Position(as.Pos()).Line)
+			return true
+		}
+	}
+	// dst = append(dst, ...) where dst lives outside the loop and no
+	// later statement in the enclosing block sorts it.
+	if as.Tok != token.ASSIGN || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || fid.Name != "append" || pass.Info.Uses[fid] != types.Universe.Lookup("append") {
+		return false
+	}
+	id, obj := outerIdent(pass, rs, as.Lhs[0])
+	if id == nil || sortedAfter(pass, stack, rs, obj) {
+		return false
+	}
+	pass.Reportf(rs.For, "map iteration order reaches append to %q (declared outside the loop, never sorted after it) at line %d; iterate sorted keys or sort the result",
+		id.Name, pass.Fset.Position(as.Pos()).Line)
+	return true
+}
+
+// selfBinaryAssign reports x = x + y / x = x - y.
+func selfBinaryAssign(as *ast.AssignStmt) bool {
+	if as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+		return false
+	}
+	if x, ok := ast.Unparen(bin.X).(*ast.Ident); ok && x.Name == lhs.Name {
+		return true
+	}
+	if y, ok := ast.Unparen(bin.Y).(*ast.Ident); ok && y.Name == lhs.Name {
+		return true
+	}
+	return false
+}
+
+// outerIdent resolves expr to an identifier whose object is declared
+// outside the range statement, or (nil, nil).
+func outerIdent(pass *Pass, rs *ast.RangeStmt, expr ast.Expr) (*ast.Ident, types.Object) {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil, nil
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+		return nil, nil
+	}
+	return id, obj
+}
+
+// sortedAfter reports whether a statement after rs in its enclosing
+// block calls something sort-ish (sort.Strings, slices.Sort, a local
+// sortCandidates helper, ...) with obj among the arguments.
+func sortedAfter(pass *Pass, stack []ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	// Find the enclosing block and the child of it that contains rs.
+	var block *ast.BlockStmt
+	var at int
+	for i := len(stack) - 1; i >= 0; i-- {
+		if b, ok := stack[i].(*ast.BlockStmt); ok {
+			holder := ast.Node(rs)
+			if i+1 < len(stack) {
+				holder = stack[i+1]
+			}
+			for j, s := range b.List {
+				if s == holder {
+					block, at = b, j
+					break
+				}
+			}
+			if block != nil {
+				break
+			}
+		}
+	}
+	if block == nil {
+		return false
+	}
+	sorted := false
+	for _, s := range block.List[at+1:] {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || sorted {
+				return !sorted
+			}
+			// Match the full callee spelling: "sort.Strings",
+			// "slices.SortFunc", or a local "sortCandidates" helper.
+			if !sortishName.MatchString(types.ExprString(call.Fun)) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					sorted = true
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeShortName returns the bare callee identifier of a call:
+// "WriteString" for b.WriteString(...), "sortCandidates" for a local
+// helper, "" otherwise.
+func calleeShortName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// isFloat reports whether t's underlying type is a float.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,65 @@
+package iokvet
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// NonDeterm bans ambient nondeterminism — wall clock, process
+// environment, unseeded randomness and hashing — in the pure packages.
+// Those packages compute the paper's kernel and everything layered on
+// it; the bit-identical guarantees only hold if they are exact
+// functions of their inputs. Seeded internal/xrand stays allowed (its
+// streams are part of the input), as does plain "time" for types and
+// durations — only the clock reads are banned. Intentional exceptions
+// (metric timings around a fan-out) carry //iokvet:allow nondeterm
+// directives.
+var NonDeterm = &Analyzer{
+	Name:     "nondeterm",
+	Doc:      "pure kernel/sketch/routing packages read no clock, environment, or ambient randomness",
+	Packages: purePackages,
+	Run:      runNonDeterm,
+}
+
+// nondetermCalls are the banned entry points, by qualified name.
+var nondetermCalls = map[string]string{
+	"time.Now":              "wall clock",
+	"time.Since":            "wall clock",
+	"time.Until":            "wall clock",
+	"os.Getenv":             "process environment",
+	"os.LookupEnv":          "process environment",
+	"os.Environ":            "process environment",
+	"hash/maphash.MakeSeed": "ambient hash seed",
+}
+
+// nondetermImports are packages whose every use is ambient randomness.
+var nondetermImports = map[string]string{
+	"math/rand":    "unseeded global randomness (use internal/xrand)",
+	"math/rand/v2": "unseeded global randomness (use internal/xrand)",
+	"crypto/rand":  "ambient randomness",
+}
+
+func runNonDeterm(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := nondetermImports[path]; ok {
+				pass.Reportf(imp.Pos(), "import of %s in a pure package: %s", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if why, ok := nondetermCalls[pass.CalleeName(call)]; ok {
+				pass.Reportf(call.Pos(), "%s in a pure package: %s", pass.CalleeName(call), why)
+			}
+			return true
+		})
+	}
+	return nil
+}

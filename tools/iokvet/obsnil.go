@@ -1,0 +1,85 @@
+package iokvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ObsNil enforces the obs package's construction contract: registries
+// come from obs.NewRegistry and instruments from Registry.Counter /
+// Gauge / Histogram. A hand-built Registry{} panics on first use (nil
+// family map), and a composite-literal Counter/Gauge/Histogram is
+// detached from every registry, so it silently never appears in
+// /metrics — both are wiring bugs the nil-safe zero-value pattern
+// exists to prevent.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "obs registries and instruments are constructed only via obs.NewRegistry / Registry methods",
+	Run:  runObsNil,
+}
+
+const obsPath = "iokast/internal/obs"
+
+var obsInstruments = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true, "Registry": true,
+}
+
+func runObsNil(pass *Pass) error {
+	if p := pass.Pkg.Path(); p == obsPath || strings.HasPrefix(p, obsPath+"/") {
+		return nil // the implementation constructs its own instruments
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if name, ok := obsTypeName(pass.Info.TypeOf(n)); ok {
+					reportObsConstruction(pass, n.Pos(), name)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 &&
+					pass.Info.Uses[id] == types.Universe.Lookup("new") {
+					if name, ok := obsTypeName(pass.Info.TypeOf(n.Args[0])); ok {
+						reportObsConstruction(pass, n.Pos(), name)
+					}
+				}
+			case *ast.ValueSpec:
+				// `var r obs.Registry` is a zero value whose first
+				// getSeries call panics.
+				if n.Type != nil {
+					if name, ok := obsTypeName(pass.Info.TypeOf(n.Type)); ok && name == "Registry" {
+						reportObsConstruction(pass, n.Pos(), name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func reportObsConstruction(pass *Pass, pos token.Pos, name string) {
+	if name == "Registry" {
+		pass.Reportf(pos, "direct construction of obs.Registry panics on first use (nil family map); use obs.NewRegistry")
+		return
+	}
+	pass.Reportf(pos, "direct construction of obs.%s bypasses the registry: it will never appear in /metrics; obtain it from Registry.%s", name, name)
+}
+
+// obsTypeName reports whether t is one of obs's exported instrument or
+// registry types, returning the bare type name.
+func obsTypeName(t types.Type) (string, bool) {
+	if t == nil {
+		return "", false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != obsPath {
+		return "", false
+	}
+	return obj.Name(), obsInstruments[obj.Name()]
+}

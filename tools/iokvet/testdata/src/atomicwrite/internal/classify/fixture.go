@@ -1,0 +1,25 @@
+// Package classify is an atomicwrite fixture: durable registry state
+// must go through store.AtomicWriteFile.
+package classify
+
+import (
+	"os"
+
+	"iokast/internal/store"
+)
+
+// SaveRaw writes the label table with a raw os.WriteFile: flagged (a
+// crash mid-write leaves a torn file recovery then trusts).
+func SaveRaw(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os.WriteFile in a persistence package`
+}
+
+// SaveAtomic uses the blessed primitive: clean.
+func SaveAtomic(path string, data []byte) error {
+	return store.AtomicWriteFile(path, data)
+}
+
+// SwapRaw renames durable state outside the discipline: flagged.
+func SwapRaw(from, to string) error {
+	return os.Rename(from, to) // want `os.Rename in a persistence package`
+}

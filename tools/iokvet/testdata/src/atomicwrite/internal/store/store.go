@@ -1,0 +1,22 @@
+// Package store stubs the real store's blessed write primitives for
+// the atomicwrite fixture: inside the implementation, raw file ops are
+// the discipline itself and carry directives.
+package store
+
+import "os"
+
+// AtomicWriteFile commits data with temp+fsync+rename.
+func AtomicWriteFile(path string, data []byte) error {
+	tmp := path + ".tmp"
+	//iokvet:allow atomicwrite(this is the blessed primitive: temp file of the atomic commit)
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	//iokvet:allow atomicwrite(rename is the commit point of the atomic write discipline)
+	return os.Rename(tmp, path)
+}
+
+// CreateSegment opens a fresh WAL segment: flagged when undirected.
+func CreateSegment(path string) (*os.File, error) {
+	return os.Create(path) // want `os.Create in a persistence package`
+}

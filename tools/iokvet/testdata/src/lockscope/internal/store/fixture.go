@@ -1,0 +1,75 @@
+// Package store is a lockscope fixture: blocking work and re-entrant
+// acquisitions under a held mutex.
+package store
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// S is a component with a mutex and a durable file.
+type S struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// SyncUnderLock fsyncs while holding the mutex: flagged.
+func (s *S) SyncUnderLock() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Sync() // want `\(\*os\.File\)\.Sync \(fsync\) while s\.mu held`
+}
+
+// SyncAfterUnlock releases the lock first: clean.
+func (s *S) SyncAfterUnlock() error {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.f.Sync()
+}
+
+// Reentrant locks a mutex it already holds: flagged as a deadlock.
+func (s *S) Reentrant() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `re-entrant acquisition of s\.mu`
+	s.mu.Unlock()
+}
+
+// SleepUnderLock parks the scheduler inside the critical section:
+// flagged.
+func (s *S) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep \(sleep\) while s\.mu held`
+	s.mu.Unlock()
+}
+
+// FetchUnderLock does an HTTP round-trip under the lock: flagged.
+func (s *S) FetchUnderLock(c *http.Client, url string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := c.Get(url) // want `HTTP round-trip`
+	return err
+}
+
+// GoroutineIsOwnScope: the literal runs outside the parent's critical
+// section, so its fsync is clean; and the parent holding the lock
+// around `go` is clean too.
+func (s *S) GoroutineIsOwnScope() {
+	s.mu.Lock()
+	go func() {
+		_ = s.f.Sync()
+	}()
+	s.mu.Unlock()
+}
+
+// DurabilityPoint is the documented exception: the WAL fsync happens
+// inside the write lock on purpose (acknowledged means durable).
+// Exempted by directive, no want.
+func (s *S) DurabilityPoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//iokvet:allow lockscope(WAL durability point: fsync inside the write lock is the contract)
+	return s.f.Sync()
+}

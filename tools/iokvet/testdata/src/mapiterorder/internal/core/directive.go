@@ -1,0 +1,8 @@
+package core
+
+// Bad directives are findings of the "directive" pseudo-analyzer and
+// can never be suppressed.
+
+//iokvet:allow mapiterorder // want `malformed iokvet directive`
+
+//iokvet:allow notachecker(some reason) // want `unknown analyzer "notachecker"`

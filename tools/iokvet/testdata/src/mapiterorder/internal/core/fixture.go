@@ -1,0 +1,117 @@
+// Package core is a mapiterorder fixture: each site is annotated with
+// the expected diagnostic (want) or a directive exemption.
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FloatAccum sums values in map order: flagged.
+func FloatAccum(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want `float accumulation into "sum"`
+		sum += v
+	}
+	return sum
+}
+
+// FloatAccumBinary uses the x = x + v spelling: flagged.
+func FloatAccumBinary(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `float accumulation into "total"`
+		total = total + v
+	}
+	return total
+}
+
+// IntAccum sums integers, which is order-independent: clean.
+func IntAccum(m map[string]int) int {
+	var sum int
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// WriteValues streams map entries to a writer in map order: flagged.
+func WriteValues(w io.Writer, m map[string]string) {
+	var b bytes.Buffer
+	for k, v := range m { // want `map iteration order reaches WriteString`
+		b.WriteString(k)
+		b.WriteString(v)
+	}
+	w.Write(b.Bytes())
+}
+
+// PrintValues uses fmt.Fprintf in map order: flagged.
+func PrintValues(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iteration order reaches fmt.Fprintf`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// AppendUnsorted returns entries in map order: flagged.
+func AppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `append to "out"`
+		out = append(out, k)
+	}
+	return out
+}
+
+// CollectThenSort is the canonical sorted-iteration idiom: the appended
+// slice is sorted right after the loop, so it is clean.
+func CollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CollectThenHelperSort sorts through a local helper whose name says
+// so: clean.
+func CollectThenHelperSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+// LoopLocalAppend appends to a slice declared inside the loop body:
+// clean (its order never escapes the iteration).
+func LoopLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// SliceRange iterates a slice, not a map: clean.
+func SliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		io.WriteString(w, x)
+	}
+}
+
+// ExemptedAccum documents an intentional order-dependent sum (the
+// caller tolerates rounding drift): exempted by directive, no want.
+func ExemptedAccum(m map[string]float64) float64 {
+	var sum float64
+	//iokvet:allow mapiterorder(diagnostic-only sum, rounding drift tolerated)
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

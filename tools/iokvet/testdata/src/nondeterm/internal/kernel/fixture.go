@@ -1,0 +1,38 @@
+// Package kernel is a nondeterm fixture: a pure package reading the
+// clock, the environment, or ambient randomness.
+package kernel
+
+import (
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock in a pure package: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in a pure package`
+}
+
+// Elapsed uses time.Since (a clock read in disguise): flagged.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time.Since in a pure package`
+}
+
+// FromEnv reads the process environment: flagged.
+func FromEnv() string {
+	return os.Getenv("IOK_SEED") // want `os.Getenv in a pure package`
+}
+
+// Scale only uses time for its types and arithmetic: clean.
+func Scale(d time.Duration, n int) time.Duration {
+	return d * time.Duration(n)
+}
+
+// ExemptedTiming is an intentional metric timing around a fan-out:
+// exempted by directives, no wants.
+func ExemptedTiming(f func()) time.Duration {
+	//iokvet:allow nondeterm(metric timing only, never persisted)
+	t0 := time.Now()
+	f()
+	//iokvet:allow nondeterm(metric timing only, never persisted)
+	return time.Since(t0)
+}

@@ -1,0 +1,10 @@
+// Package sketch is a nondeterm fixture for banned imports.
+package sketch
+
+import "math/rand" // want `import of math/rand in a pure package`
+
+// Jitter draws from the unseeded global source: the import itself is
+// the finding.
+func Jitter() float64 {
+	return rand.Float64()
+}

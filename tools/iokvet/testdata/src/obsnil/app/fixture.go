@@ -1,0 +1,50 @@
+// Package app is an obsnil fixture: user code constructing obs types
+// directly instead of going through the registry.
+package app
+
+import "iokast/internal/obs"
+
+// BadRegistry hand-builds a registry whose first use panics: flagged.
+func BadRegistry() *obs.Registry {
+	return &obs.Registry{} // want `direct construction of obs\.Registry panics on first use`
+}
+
+// BadNewRegistry spells it with new(): flagged.
+func BadNewRegistry() *obs.Registry {
+	return new(obs.Registry) // want `direct construction of obs\.Registry`
+}
+
+// BadVarRegistry declares a value registry: flagged.
+func BadVarRegistry() {
+	var r obs.Registry // want `direct construction of obs\.Registry`
+	_ = r.Counter("x")
+}
+
+// BadCounter builds a detached instrument that never reaches /metrics:
+// flagged.
+func BadCounter() *obs.Counter {
+	return &obs.Counter{} // want `direct construction of obs\.Counter bypasses the registry`
+}
+
+// BadNewHistogram: flagged.
+func BadNewHistogram() *obs.Histogram {
+	return new(obs.Histogram) // want `direct construction of obs\.Histogram`
+}
+
+// Good obtains everything from the registry: clean. A nil *Counter
+// (uninstrumented component) is also fine — that is the nil-safe
+// zero-value pattern itself.
+func Good() {
+	r := obs.NewRegistry()
+	c := r.Counter("iok_requests_total")
+	c.Inc()
+	var detached *obs.Counter
+	detached.Inc()
+}
+
+// ExemptedGauge documents a deliberate detached gauge (a test double):
+// no want.
+func ExemptedGauge() *obs.Gauge {
+	//iokvet:allow obsnil(test double: never scraped, asserts Set calls only)
+	return &obs.Gauge{}
+}

@@ -1,0 +1,53 @@
+// Package obs stubs the real metrics package for the obsnil fixture:
+// registries and instruments must come from NewRegistry / Registry
+// methods.
+package obs
+
+import "sync"
+
+// Counter is a monotonically increasing metric, nil-safe.
+type Counter struct{ v int64 }
+
+// Inc adds one (no-op on nil).
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Gauge can go up and down, nil-safe.
+type Gauge struct{ v int64 }
+
+// Set replaces the value (no-op on nil).
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v = n
+	}
+}
+
+// Histogram records observations, nil-safe.
+type Histogram struct{ mu sync.Mutex }
+
+// Registry is the instrument factory; the zero value panics on first
+// use, which is exactly what obsnil guards against.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*Counter
+}
+
+// NewRegistry returns a usable registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*Counter{}}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.families[name]
+	if c == nil {
+		c = &Counter{}
+		r.families[name] = c
+	}
+	return c
+}
